@@ -1,0 +1,115 @@
+// Command schedviz renders the paper's schedule/matching figures as text:
+//
+//	-fig 1   Figure 1: round-robin schedule for 5 nodes (4 time slots)
+//	-fig 2b  Figure 2(b): the matchings an 8-node wavelength-selective
+//	         OCS offers (one per wavelength)
+//	-fig 2d  Figure 2(d): topology A — two cliques of four, q=3, as a
+//	         4-slot schedule plus per-node wavelength state (Fig. 2c)
+//	-fig 2e  Figure 2(e): topology B — four cliques of two (q=1)
+//	-fig all (default) renders everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/matching"
+	"repro/internal/ocs"
+	"repro/internal/schedule"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to render: 1, 2b, 2d, 2e, all")
+	wavelengths := flag.Int("wavelengths", 5, "how many matchings to list for figure 2b")
+	flag.Parse()
+
+	switch *fig {
+	case "1":
+		fig1()
+	case "2b":
+		fig2b(*wavelengths)
+	case "2d":
+		fig2d()
+	case "2e":
+		fig2e()
+	case "all":
+		fig1()
+		fmt.Println()
+		fig2b(*wavelengths)
+		fmt.Println()
+		fig2d()
+		fmt.Println()
+		fig2e()
+	default:
+		fmt.Fprintf(os.Stderr, "schedviz: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func fig1() {
+	fmt.Println("Figure 1 — oblivious round-robin schedule, 5 nodes:")
+	fmt.Print(matching.RoundRobin(5))
+}
+
+func fig2b(count int) {
+	sw, err := ocs.NewAWGR(8)
+	if err != nil {
+		fatal(err)
+	}
+	if count > sw.NumWavelengths() {
+		count = sw.NumWavelengths()
+	}
+	fmt.Printf("Figure 2(b) — matchings of an 8-port wavelength-selective OCS (showing m1..m%d):\n", count)
+	fmt.Print("node")
+	for k := 1; k <= count; k++ {
+		fmt.Printf("\tm%d", k)
+	}
+	fmt.Println()
+	for node := 0; node < 8; node++ {
+		fmt.Printf("%c", 'A'+node)
+		for k := 1; k <= count; k++ {
+			fmt.Printf("\t%c", 'A'+sw.Matching(k)[node])
+		}
+		fmt.Println()
+	}
+}
+
+func fig2d() {
+	a := schedule.TopologyA()
+	fmt.Printf("Figure 2(d) — topology A: 2 cliques of 4, q=%.0f (intra bandwidth 3x inter):\n", a.RealizedQ)
+	fmt.Print(a.Schedule)
+	printNodeState(a)
+}
+
+func fig2e() {
+	b := schedule.TopologyB()
+	fmt.Printf("Figure 2(e) — topology B: 4 cliques of 2 (q=%.0f):\n", b.RealizedQ)
+	fmt.Print(b.Schedule)
+}
+
+// printNodeState shows the Figure 2(c) view: the per-slot transmit
+// wavelength each node holds to realize the schedule.
+func printNodeState(s *schedule.SORN) {
+	sw, err := ocs.NewAWGR(s.Config.N)
+	if err != nil {
+		fatal(err)
+	}
+	states, err := ocs.CompileNodeStates(sw, s.Schedule)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("node state (Figure 2c) — transmit wavelength per slot:")
+	for _, ns := range states {
+		fmt.Printf("%c:", 'A'+ns.Node)
+		for _, w := range ns.TxWavelength {
+			fmt.Printf("\tλ%d", w)
+		}
+		fmt.Printf("\t(%d B state)\n", ns.StateBytes())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "schedviz:", err)
+	os.Exit(1)
+}

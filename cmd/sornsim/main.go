@@ -1,0 +1,182 @@
+// Command sornsim is the general driver for the packet-level simulator:
+// pick a design (sorn, orn1d, orn2d), a workload (locality ratio, flow
+// size distribution), and a mode (saturate or openloop), and get
+// throughput, hop, and latency statistics.
+//
+// Examples:
+//
+//	sornsim -design sorn -n 128 -nc 8 -x 0.56 -mode saturate
+//	sornsim -design orn1d -n 128 -mode openloop -load 0.3 -sizes websearch
+//	sornsim -design orn2d -n 64 -mode openloop -load 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	design := flag.String("design", "sorn", "sorn, orn1d, or orn2d")
+	n := flag.Int("n", 128, "number of nodes")
+	nc := flag.Int("nc", 8, "cliques (sorn only)")
+	x := flag.Float64("x", 0.56, "traffic locality ratio; also provisions the sorn schedule")
+	q := flag.Float64("q", 0, "explicit oversubscription ratio (0 = derive q* from -x)")
+	mode := flag.String("mode", "saturate", "saturate or openloop")
+	load := flag.Float64("load", 0.3, "offered load for openloop mode (fraction of node bandwidth)")
+	sizes := flag.String("sizes", "websearch", "flow sizes: websearch, datamining, fixed:<cells>, bimodal")
+	cap := flag.Int("cap", 0, "optional flow size cap in cells (0 = uncapped)")
+	slots := flag.Int64("slots", 30000, "openloop run length / saturate measurement slots")
+	warmup := flag.Int64("warmup", 15000, "warmup slots")
+	backlog := flag.Int64("backlog", 4096, "fresh-cell target per node in saturate mode")
+	seed := flag.Uint64("seed", 1, "rng seed")
+	slotNS := flag.Int64("slotns", 100, "slot duration (ns)")
+	propNS := flag.Int64("propns", 500, "per-hop propagation (ns)")
+	planes := flag.Int("planes", 1, "parallel uplinks per node")
+	qlimit := flag.Int("qlimit", 0, "per-VOQ queue limit in cells (0 = unbounded)")
+	hist := flag.Bool("hist", false, "print a log2 histogram of cell latencies")
+	flag.Parse()
+
+	var (
+		nw  *core.Network
+		err error
+	)
+	switch *design {
+	case "sorn":
+		if *q > 0 {
+			nw, err = core.NewSORNWithQ(*n, *nc, *q)
+		} else {
+			nw, err = core.NewSORN(*n, *nc, *x)
+		}
+	case "orn1d":
+		nw, err = core.NewORN1D(*n)
+	case "orn2d":
+		nw, err = core.NewORN(*n, 2)
+	default:
+		fmt.Fprintf(os.Stderr, "sornsim: unknown design %q\n", *design)
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var dist workload.SizeDist
+	switch *sizes {
+	case "websearch":
+		dist = workload.WebSearch()
+	case "datamining":
+		dist = workload.DataMining()
+	case "bimodal":
+		dist = workload.Bimodal{ShortCells: 10, BulkCells: 1000, ShortShare: 0.75}
+	default:
+		var cells int
+		if _, err := fmt.Sscanf(*sizes, "fixed:%d", &cells); err != nil || cells < 1 {
+			fmt.Fprintf(os.Stderr, "sornsim: bad -sizes %q\n", *sizes)
+			os.Exit(2)
+		}
+		dist = workload.FixedSize(cells)
+	}
+	if *cap > 0 {
+		dist = workload.NewCapped(dist, *cap)
+	}
+
+	tm, err := nw.LocalityMatrix(*x)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.SimOptions{
+		SlotNS: *slotNS, PropNS: *propNS, Seed: *seed,
+		LatencySampleEvery: 16,
+		WarmupSlots:        *warmup,
+		MeasureSlots:       *slots,
+		TargetBacklog:      *backlog,
+		Planes:             *planes,
+	}
+
+	var st *netsim.Stats
+	switch *mode {
+	case "saturate":
+		if *qlimit > 0 {
+			fatal(fmt.Errorf("-qlimit applies to openloop mode only"))
+		}
+		st, err = nw.SimulateSaturated(opts, tm, dist)
+	case "openloop":
+		sim, serr := netsim.New(netsim.Config{
+			Schedule: nw.Schedule, Router: nw.Router,
+			SlotNS: *slotNS, PropNS: *propNS, Seed: *seed,
+			LatencySampleEvery: 16, Planes: *planes, QueueLimit: *qlimit,
+		})
+		if serr != nil {
+			fatal(serr)
+		}
+		gen, gerr := workload.NewPoissonFlows(tm, dist, *load, *seed+1)
+		if gerr != nil {
+			fatal(gerr)
+		}
+		total := *warmup + *slots
+		flows := gen.Window(0, total)
+		sim.StartMeasuring()
+		if rerr := sim.RunOpenLoop(flows, total); rerr != nil {
+			fatal(rerr)
+		}
+		st = sim.Stats()
+	default:
+		fmt.Fprintf(os.Stderr, "sornsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	slotUS := float64(*slotNS) / 1000
+	fmt.Printf("design=%s n=%d workload=%s mode=%s\n", nw.Kind, *n, dist.Name(), *mode)
+	if nw.SORN != nil {
+		fmt.Printf("cliques=%d realized q=%.2f schedule period=%d slots\n",
+			nw.SORN.Cliques.NumCliques(), nw.SORN.RealizedQ, nw.Schedule.Period())
+	}
+	fmt.Printf("throughput r        %.4f cells/node/slot\n", st.Throughput(*n))
+	fmt.Printf("mean hops           %.3f\n", st.MeanHops())
+	fmt.Printf("delivered cells     %d\n", st.DeliveredCells)
+	if st.DroppedCells > 0 {
+		fmt.Printf("dropped cells       %d (queue limit)\n", st.DroppedCells)
+	}
+	fmt.Printf("completed flows     %d\n", st.CompletedFlows)
+	if st.LatencySlots.Count() > 0 {
+		fmt.Printf("cell latency p50    %.1f µs\n", st.LatencySlots.Percentile(50)*slotUS)
+		fmt.Printf("cell latency p99    %.1f µs\n", st.LatencySlots.Percentile(99)*slotUS)
+	}
+	for h := 1; h < len(st.LatencyByHops); h++ {
+		cls := &st.LatencyByHops[h]
+		if cls.Count() == 0 {
+			continue
+		}
+		fmt.Printf("  %d-hop cells p50   %.1f µs (%d samples)\n",
+			h, cls.Percentile(50)*slotUS, cls.Count())
+	}
+	if st.FCTSlots.Count() > 0 {
+		fmt.Printf("FCT p50             %.1f µs\n", st.FCTSlots.Percentile(50)*slotUS)
+		fmt.Printf("FCT p99             %.1f µs\n", st.FCTSlots.Percentile(99)*slotUS)
+	}
+	if *hist && st.LatencySlots.Count() > 0 {
+		h := stats.NewLogHistogram()
+		for p := 0.5; p <= 100; p += 0.5 {
+			h.Add(st.LatencySlots.Percentile(p))
+		}
+		fmt.Println("cell latency histogram (log2 buckets of slots, from percentile samples):")
+		bounds, counts := h.Buckets()
+		for i, b := range bounds {
+			fmt.Printf("  >= %6.0f slots  %s\n", b, strings.Repeat("#", int(counts[i])))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sornsim:", err)
+	os.Exit(1)
+}

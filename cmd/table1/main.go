@@ -1,0 +1,76 @@
+// Command table1 regenerates the paper's Table 1: latency and throughput
+// of oblivious baselines (1D ORN / Sirius, Opera, 2D optimal ORN) versus
+// SORN at Nc=64 and Nc=32 for a 4096-rack DCN with 16 uplinks per rack,
+// 100 ns slots, 500 ns/hop propagation, locality ratio 0.56.
+//
+// Usage:
+//
+//	table1 [-n 4096] [-uplinks 16] [-slot 100] [-prop 500] [-x 0.56] [-csv] [-text-formula]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 4096, "number of racks")
+	uplinks := flag.Int("uplinks", 16, "uplinks per rack")
+	slot := flag.Float64("slot", 100, "slot duration (ns)")
+	prop := flag.Float64("prop", 500, "per-hop propagation delay (ns)")
+	x := flag.Float64("x", 0.56, "locality ratio (intra-clique demand fraction)")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	textFormula := flag.Bool("text-formula", false,
+		"use the paper text's inter-clique δm formula (q+1)(Nc−1)+... instead of the variant matching the printed table")
+	flag.Parse()
+
+	p := model.Params{N: *n, Uplinks: *uplinks, SlotNS: *slot, PropNS: *prop}
+
+	rows := []model.Row{model.ORN1D(p)}
+	rows = append(rows, model.Opera(p, model.DefaultOperaParams())...)
+	orn2, err := model.ORN(p, 2)
+	if err != nil {
+		fatal(err)
+	}
+	rows = append(rows, orn2)
+	for _, nc := range []int{64, 32} {
+		if *n%nc != 0 {
+			continue
+		}
+		sr, err := model.SORN(p, model.SORNParams{Nc: nc, X: *x, TableVariant: !*textFormula})
+		if err != nil {
+			fatal(err)
+		}
+		rows = append(rows, sr...)
+	}
+
+	var tb stats.Table
+	tb.SetHeader("System", "Variant", "Max hops", "δm", "Min latency (µs)", "Thpt.", "Norm. BW cost")
+	for _, r := range rows {
+		tb.AddRow(
+			r.System,
+			r.Variant,
+			fmt.Sprint(r.MaxHops),
+			fmt.Sprint(r.DeltaMSlots()),
+			fmt.Sprintf("%.2f", r.MinLatencyMicros()),
+			fmt.Sprintf("%.2f%%", r.Throughput*100),
+			fmt.Sprintf("%.2fx", r.BWCost),
+		)
+	}
+	fmt.Printf("Table 1 — %d racks, %d uplinks, %.0f ns slots, %.0f ns/hop propagation, x=%.2f\n\n",
+		*n, *uplinks, *slot, *prop, *x)
+	if *csv {
+		fmt.Print(tb.CSV())
+	} else {
+		fmt.Print(tb.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "table1:", err)
+	os.Exit(1)
+}

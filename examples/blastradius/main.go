@@ -1,0 +1,75 @@
+// Blastradius: the paper's §6 "practicality" argument, measured. Flat
+// oblivious designs route every pair through random intermediates, so a
+// single node failure can touch flows between *any* pair. A modular
+// semi-oblivious design confines most failures to one clique. This
+// example quantifies both analytically (path distributions) and in the
+// packet simulator (delivered cells with a dead node).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/workload"
+)
+
+func main() {
+	const n, nc = 64, 8
+
+	// Analytical: fraction of src-dst pairs whose routing can transit a
+	// failed element.
+	rows, err := experiments.BlastRadius(n, nc, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("analytical blast radius (fraction of pairs affected):")
+	for _, r := range rows {
+		fmt.Printf("  %-18s node: %.1f%%   intra link: %.1f%%   inter link: %.1f%%\n",
+			r.Design, 100*r.NodeBlast, 100*r.IntraLink, 100*r.InterLink)
+	}
+
+	// Packet-level: kill node 1 and measure both the surviving
+	// throughput and how many src-dst pairs are touched by the failure —
+	// the fate-sharing that complicates diagnosis in flat designs.
+	fmt.Println("\npacket-level, node 1 failed, saturated uniform traffic:")
+	for _, build := range []func() (*core.Network, error){
+		func() (*core.Network, error) { return core.NewSORN(n, nc, 0.5) },
+		func() (*core.Network, error) { return core.NewORN1D(n) },
+	} {
+		nw, err := build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tm, err := nw.LocalityMatrix(0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		healthy, _ := run(nw, tm, false)
+		degraded, affected := run(nw, tm, true)
+		fmt.Printf("  %-8s healthy r=%.4f  with failure r=%.4f (%.1f%% retained)  pairs touched: %.1f%%\n",
+			nw.Kind, healthy, degraded, 100*degraded/healthy, 100*affected)
+	}
+	fmt.Println("\nBoth designs retain most aggregate throughput, but the flat design")
+	fmt.Println("spreads the damage across nearly every pair, while SORN confines it.")
+}
+
+func run(nw *core.Network, tm *workload.Matrix, fail bool) (float64, float64) {
+	sim, err := nw.NewSim(core.SimOptions{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fail {
+		sim.FailNode(1)
+	}
+	st, err := sim.RunSaturated(netsim.SaturationConfig{
+		TM: tm, Size: workload.FixedSize(8), TargetBacklog: 512,
+		WarmupSlots: 3000, MeasureSlots: 9000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st.Throughput(tm.N), sim.AffectedPairs()
+}

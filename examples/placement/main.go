@@ -1,0 +1,83 @@
+// Placement: the §6 discussion made concrete. A datacenter hosts three
+// service groups à la the Facebook trace [23] — web frontends, cache
+// tiers, and batch/Hadoop workers — but the job placement system has
+// scattered their machines across rack positions, so the naive
+// contiguous cliques see almost no locality. The semi-oblivious control
+// plane observes the aggregated traffic, re-clusters machines by
+// affinity, and rebuilds the schedule; throughput recovers to near the
+// clairvoyant value.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/workload"
+)
+
+func main() {
+	const n, nc = 64, 8
+
+	// Ground truth: each service group occupies every nc-th machine
+	// (round-robin placement), and 85% of each machine's traffic stays
+	// within its service group.
+	planted := make([]int, n)
+	for i := range planted {
+		planted[i] = i % nc
+	}
+	serviceGroups, err := schedule.NewCliques(planted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tm, err := workload.Locality(serviceGroups, 0.85)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A static SORN with contiguous cliques sees almost no locality:
+	// machines of the same service rarely share a rack-contiguous clique.
+	static, err := core.NewSORN(n, nc, 0.85)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("observed locality under contiguous cliques: %.3f (true service locality: 0.85)\n",
+		tm.IntraFraction(static.SORN.Cliques))
+	staticRes, err := static.Throughput(tm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static contiguous SORN:      θ = %.4f\n", staticRes.Theta)
+
+	// The adaptive control plane re-clusters machines by traffic
+	// affinity, recovering the service groups, then provisions q for the
+	// recovered locality.
+	adaptive, err := core.NewAdaptive(n, nc, 0.85, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := adaptive.Adapt(tm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-clustered locality: %.3f -> q = %.2f, predicted r = %.4f\n",
+		plan.X, plan.Q, plan.PredictedR)
+	adaptiveRes, err := adaptive.Network.Throughput(tm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-clustered SORN:           θ = %.4f\n", adaptiveRes.Theta)
+	fmt.Printf("clairvoyant bound 1/(3-x):   r = %.4f\n", 1/(3-0.85))
+
+	// A packet-level confirmation with the Table 1 traffic mix.
+	st, err := adaptive.Network.SimulateSaturated(core.SimOptions{
+		Seed: 31, WarmupSlots: 8000, MeasureSlots: 8000, TargetBacklog: 2048,
+	}, tm, workload.FacebookLike())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("packet sim (Facebook mix):   r = %.4f\n", st.Throughput(n))
+	fmt.Printf("\nthroughput gain from placement-aware re-clustering: %.1fx\n",
+		adaptiveRes.Theta/staticRes.Theta)
+}

@@ -1,0 +1,186 @@
+// Package bvn implements Sinkhorn normalization and Birkhoff–von Neumann
+// decomposition for clique-level demand matrices — the machinery behind
+// the paper's §5 "Expressivity" discussion: encoding non-uniform
+// aggregated demand (gravity models, hot clusters) into a circuit
+// schedule by expressing the inter-clique bandwidth allocation as a
+// weighted sum of clique-level permutations, each of which lowers to a
+// valid node-level matching.
+package bvn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sinkhorn scales a non-negative matrix with zero diagonal and total
+// support (every off-diagonal entry positive) into a doubly stochastic
+// matrix (rows and columns summing to 1) by iterative row/column
+// normalization. It returns an error if the matrix shape is invalid or
+// the iteration fails to converge.
+func Sinkhorn(m [][]float64, iters int, tol float64) ([][]float64, error) {
+	n := len(m)
+	if n < 2 {
+		return nil, fmt.Errorf("bvn: need at least a 2x2 matrix, got %d", n)
+	}
+	out := make([][]float64, n)
+	for i, row := range m {
+		if len(row) != n {
+			return nil, fmt.Errorf("bvn: row %d has %d entries, want %d", i, len(row), n)
+		}
+		out[i] = make([]float64, n)
+		for j, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("bvn: entry (%d,%d) = %f invalid", i, j, v)
+			}
+			if i == j && v != 0 {
+				return nil, fmt.Errorf("bvn: nonzero diagonal at %d", i)
+			}
+			if i != j && v == 0 {
+				return nil, fmt.Errorf("bvn: zero off-diagonal at (%d,%d); mix in a uniform floor first", i, j)
+			}
+			out[i][j] = v
+		}
+	}
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += out[i][j]
+			}
+			for j := 0; j < n; j++ {
+				out[i][j] /= sum
+			}
+		}
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				sum += out[i][j]
+			}
+			for i := 0; i < n; i++ {
+				out[i][j] /= sum
+			}
+		}
+		if maxRowErr(out) < tol {
+			return out, nil
+		}
+	}
+	if maxRowErr(out) < tol*10 {
+		return out, nil
+	}
+	return nil, fmt.Errorf("bvn: Sinkhorn did not converge (row error %g)", maxRowErr(out))
+}
+
+func maxRowErr(m [][]float64) float64 {
+	worst := 0.0
+	for _, row := range m {
+		sum := 0.0
+		for _, v := range row {
+			sum += v
+		}
+		if e := math.Abs(sum - 1); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// Term is one permutation of the decomposition with its weight.
+type Term struct {
+	Perm   []int // Perm[i] = j means row i is matched to column j
+	Weight float64
+}
+
+// Decompose performs Birkhoff–von Neumann decomposition of a doubly
+// stochastic matrix: it returns permutations and positive weights whose
+// weighted sum reconstructs the matrix up to the residual tolerance.
+// With a zero diagonal, every permutation is a derangement. maxTerms
+// bounds the number of terms (n²−2n+2 always suffices; pass 0 for that
+// bound).
+func Decompose(m [][]float64, maxTerms int, tol float64) ([]Term, error) {
+	n := len(m)
+	if e := maxRowErr(m); e > 1e-6 {
+		return nil, fmt.Errorf("bvn: matrix not doubly stochastic (row error %g)", e)
+	}
+	if maxTerms <= 0 {
+		maxTerms = n*n - 2*n + 2
+	}
+	// Work on a copy.
+	res := make([][]float64, n)
+	for i := range res {
+		res[i] = append([]float64(nil), m[i]...)
+	}
+	var terms []Term
+	remaining := 1.0
+	for t := 0; t < maxTerms && remaining > tol; t++ {
+		perm, ok := perfectMatching(res, tol/float64(n*n))
+		if !ok {
+			return nil, fmt.Errorf("bvn: no perfect matching on residual support (remaining %g)", remaining)
+		}
+		w := math.Inf(1)
+		for i, j := range perm {
+			if res[i][j] < w {
+				w = res[i][j]
+			}
+		}
+		if w <= 0 {
+			break
+		}
+		for i, j := range perm {
+			res[i][j] -= w
+		}
+		terms = append(terms, Term{Perm: perm, Weight: w})
+		remaining -= w
+	}
+	if remaining > tol*10 {
+		return nil, fmt.Errorf("bvn: decomposition stopped with %g weight unassigned", remaining)
+	}
+	return terms, nil
+}
+
+// perfectMatching finds a perfect matching on entries > eps using Kuhn's
+// augmenting-path algorithm. Returns perm[i] = matched column of row i.
+func perfectMatching(m [][]float64, eps float64) ([]int, bool) {
+	n := len(m)
+	matchCol := make([]int, n) // column -> row
+	for i := range matchCol {
+		matchCol[i] = -1
+	}
+	var try func(row int, visited []bool) bool
+	try = func(row int, visited []bool) bool {
+		for col := 0; col < n; col++ {
+			if m[row][col] <= eps || visited[col] {
+				continue
+			}
+			visited[col] = true
+			if matchCol[col] == -1 || try(matchCol[col], visited) {
+				matchCol[col] = row
+				return true
+			}
+		}
+		return false
+	}
+	for row := 0; row < n; row++ {
+		if !try(row, make([]bool, n)) {
+			return nil, false
+		}
+	}
+	perm := make([]int, n)
+	for col, row := range matchCol {
+		perm[row] = col
+	}
+	return perm, true
+}
+
+// Reconstruct sums the terms back into a matrix (for verification).
+func Reconstruct(terms []Term, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for _, t := range terms {
+		for i, j := range t.Perm {
+			out[i][j] += t.Weight
+		}
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package bvn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// uniformOffDiag returns the n×n matrix with 1/(n−1) off the diagonal.
+func uniformOffDiag(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = 1 / float64(n-1)
+			}
+		}
+	}
+	return m
+}
+
+func TestSinkhornUniform(t *testing.T) {
+	out, err := Sinkhorn(uniformOffDiag(6), 100, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		for j := range out[i] {
+			want := 1.0 / 5
+			if i == j {
+				want = 0
+			}
+			if math.Abs(out[i][j]-want) > 1e-9 {
+				t.Fatalf("out[%d][%d] = %f", i, j, out[i][j])
+			}
+		}
+	}
+}
+
+func TestSinkhornSkewed(t *testing.T) {
+	// Gravity-like skew: clique 0 is hot.
+	n := 4
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			if i == j {
+				continue
+			}
+			m[i][j] = 1
+			if j == 0 {
+				m[i][j] = 8
+			}
+		}
+	}
+	out, err := Sinkhorn(m, 500, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows and columns must sum to 1, diagonal stays zero.
+	for i := 0; i < n; i++ {
+		rs, cs := 0.0, 0.0
+		for j := 0; j < n; j++ {
+			rs += out[i][j]
+			cs += out[j][i]
+		}
+		if math.Abs(rs-1) > 1e-8 || math.Abs(cs-1) > 1e-8 {
+			t.Fatalf("row/col %d sums %f/%f", i, rs, cs)
+		}
+		if out[i][i] != 0 {
+			t.Fatalf("diagonal %d became %f", i, out[i][i])
+		}
+	}
+	// Column 0 entries remain the largest in each row (skew preserved in
+	// direction, though flattened by normalization).
+	for i := 1; i < n; i++ {
+		for j := 1; j < n; j++ {
+			if j != i && out[i][0] < out[i][j] {
+				t.Fatalf("row %d lost its skew toward column 0", i)
+			}
+		}
+	}
+}
+
+func TestSinkhornRejectsBadInput(t *testing.T) {
+	if _, err := Sinkhorn([][]float64{{0}}, 10, 1e-9); err == nil {
+		t.Error("1x1 accepted")
+	}
+	bad := uniformOffDiag(3)
+	bad[0][0] = 0.5
+	if _, err := Sinkhorn(bad, 10, 1e-9); err == nil {
+		t.Error("nonzero diagonal accepted")
+	}
+	bad2 := uniformOffDiag(3)
+	bad2[0][1] = 0
+	if _, err := Sinkhorn(bad2, 10, 1e-9); err == nil {
+		t.Error("zero off-diagonal accepted")
+	}
+	bad3 := uniformOffDiag(3)
+	bad3[0][1] = -1
+	if _, err := Sinkhorn(bad3, 10, 1e-9); err == nil {
+		t.Error("negative entry accepted")
+	}
+	bad4 := uniformOffDiag(3)
+	bad4[1] = bad4[1][:2]
+	if _, err := Sinkhorn(bad4, 10, 1e-9); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestDecomposeUniform(t *testing.T) {
+	ds, err := Sinkhorn(uniformOffDiag(5), 100, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms, err := Decompose(ds, 0, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTerms(t, terms, ds)
+}
+
+func TestDecomposeRandomDS(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(6)
+		m := make([][]float64, n)
+		for i := range m {
+			m[i] = make([]float64, n)
+			for j := range m[i] {
+				if i != j {
+					m[i][j] = 0.1 + r.Float64()
+				}
+			}
+		}
+		ds, err := Sinkhorn(m, 2000, 1e-10)
+		if err != nil {
+			return false
+		}
+		terms, err := Decompose(ds, 0, 1e-8)
+		if err != nil {
+			return false
+		}
+		rec := Reconstruct(terms, n)
+		for i := range ds {
+			for j := range ds[i] {
+				if math.Abs(rec[i][j]-ds[i][j]) > 1e-6 {
+					return false
+				}
+			}
+		}
+		// All permutations are derangements (zero diagonal support).
+		for _, term := range terms {
+			for i, j := range term.Perm {
+				if i == j {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecomposeRejectsNonDS(t *testing.T) {
+	if _, err := Decompose(uniformOffDiag(3), 0, 1e-9); err != nil {
+		// uniformOffDiag IS doubly stochastic (rows sum to 1) for n=3?
+		// 2 entries of 1/2 each: yes. So this must succeed.
+		t.Fatalf("uniform off-diagonal should decompose: %v", err)
+	}
+	bad := uniformOffDiag(3)
+	bad[0][1] = 0.9
+	if _, err := Decompose(bad, 0, 1e-9); err == nil {
+		t.Error("non-DS matrix accepted")
+	}
+}
+
+func checkTerms(t *testing.T, terms []Term, want [][]float64) {
+	t.Helper()
+	if len(terms) == 0 {
+		t.Fatal("no terms")
+	}
+	total := 0.0
+	for _, term := range terms {
+		if term.Weight <= 0 {
+			t.Fatal("non-positive weight")
+		}
+		total += term.Weight
+		seen := make([]bool, len(term.Perm))
+		for i, j := range term.Perm {
+			if i == j {
+				t.Fatalf("term has fixed point at %d", i)
+			}
+			if seen[j] {
+				t.Fatal("term not a permutation")
+			}
+			seen[j] = true
+		}
+	}
+	if math.Abs(total-1) > 1e-8 {
+		t.Fatalf("weights sum to %f", total)
+	}
+	rec := Reconstruct(terms, len(want))
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(rec[i][j]-want[i][j]) > 1e-6 {
+				t.Fatalf("reconstruction off at (%d,%d): %f vs %f", i, j, rec[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func BenchmarkDecompose16(b *testing.B) {
+	r := rng.New(3)
+	n := 16
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = 0.1 + r.Float64()
+			}
+		}
+	}
+	ds, err := Sinkhorn(m, 2000, 1e-10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(ds, 0, 1e-8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// StableLoadOptions tune the max-stable-load search.
+type StableLoadOptions struct {
+	Sim SimOptions
+	// Lo and Hi bracket the offered load (fraction of node bandwidth).
+	Lo, Hi float64
+	// Tol is the bisection width at which the search stops (default 0.02).
+	Tol float64
+	// DeliveredFraction is the stability criterion: a load is stable if
+	// the cells delivered during the measurement window are at least this
+	// fraction of the cells injected in it (default 0.94).
+	DeliveredFraction float64
+}
+
+func (o StableLoadOptions) withDefaults() StableLoadOptions {
+	o.Sim = o.Sim.withDefaults()
+	if o.Hi == 0 {
+		o.Hi = 1
+	}
+	if o.Tol == 0 {
+		o.Tol = 0.02
+	}
+	if o.DeliveredFraction == 0 {
+		o.DeliveredFraction = 0.94
+	}
+	return o
+}
+
+// MaxStableLoad bisects for the highest open-loop offered load the
+// network sustains for the given traffic matrix and flow-size
+// distribution: Poisson flow arrivals per source, destinations from the
+// matrix, the router under test carrying every cell. This is the
+// packet-level counterpart of the fluid θ and the measurement behind the
+// Figure 2(f) simulation series.
+func (nw *Network) MaxStableLoad(opts StableLoadOptions, tm *workload.Matrix, dist workload.SizeDist) (float64, error) {
+	opts = opts.withDefaults()
+	if opts.Lo < 0 || opts.Hi <= opts.Lo {
+		return 0, fmt.Errorf("core: bad load bracket [%f, %f]", opts.Lo, opts.Hi)
+	}
+	stable := func(load float64) (bool, error) {
+		sim, err := nw.NewSim(opts.Sim)
+		if err != nil {
+			return false, err
+		}
+		gen, err := workload.NewPoissonFlows(tm, dist, load, opts.Sim.Seed+uint64(load*1e6))
+		if err != nil {
+			return false, err
+		}
+		total := opts.Sim.WarmupSlots + opts.Sim.MeasureSlots
+		flows := gen.Window(0, total)
+		// Warmup: inject and run without counting.
+		i := 0
+		for sim.Slot() < opts.Sim.WarmupSlots {
+			for i < len(flows) && flows[i].Arrival <= sim.Slot() {
+				sim.InjectFlow(flows[i].Src, flows[i].Dst, flows[i].Size)
+				i++
+			}
+			sim.Step()
+		}
+		sim.StartMeasuring()
+		if err := sim.RunOpenLoop(flows[i:], total); err != nil {
+			return false, err
+		}
+		st := sim.Stats()
+		if st.InjectedCells == 0 {
+			return true, nil
+		}
+		frac := float64(st.DeliveredCells) / float64(st.InjectedCells)
+		return frac >= opts.DeliveredFraction, nil
+	}
+
+	lo, hi := opts.Lo, opts.Hi
+	// Verify the bracket: hi must be unstable (otherwise return hi).
+	if ok, err := stable(hi); err != nil {
+		return 0, err
+	} else if ok {
+		return hi, nil
+	}
+	for hi-lo > opts.Tol {
+		mid := (lo + hi) / 2
+		ok, err := stable(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestMaxStableLoadVLB(t *testing.T) {
+	// A 16-node 1D ORN sustains ~(n−1)/(2n−3) ≈ 0.52 of node bandwidth
+	// under uniform fixed-size traffic; the bisection should land close.
+	nw, err := NewORN1D(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := nw.LocalityMatrix(0)
+	load, err := nw.MaxStableLoad(StableLoadOptions{
+		Sim: SimOptions{Seed: 3, WarmupSlots: 3000, MeasureSlots: 8000},
+		Lo:  0.2, Hi: 0.9, Tol: 0.05,
+	}, tm, workload.FixedSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load < 0.40 || load > 0.62 {
+		t.Fatalf("max stable load = %f, want ~0.52", load)
+	}
+}
+
+func TestMaxStableLoadBracketAllStable(t *testing.T) {
+	// If even Hi is stable, the search returns Hi without bisecting.
+	nw, err := NewORN1D(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := nw.LocalityMatrix(0)
+	load, err := nw.MaxStableLoad(StableLoadOptions{
+		Sim: SimOptions{Seed: 4, WarmupSlots: 1000, MeasureSlots: 3000},
+		Lo:  0.01, Hi: 0.1,
+	}, tm, workload.FixedSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load != 0.1 {
+		t.Fatalf("expected Hi returned for an all-stable bracket, got %f", load)
+	}
+}
+
+func TestMaxStableLoadBadBracket(t *testing.T) {
+	nw, _ := NewORN1D(8)
+	tm, _ := nw.LocalityMatrix(0)
+	if _, err := nw.MaxStableLoad(StableLoadOptions{Lo: 0.5, Hi: 0.2}, tm, workload.FixedSize(1)); err == nil {
+		t.Fatal("inverted bracket accepted")
+	}
+	if _, err := nw.MaxStableLoad(StableLoadOptions{Lo: -1, Hi: 0.5}, tm, workload.FixedSize(1)); err == nil {
+		t.Fatal("negative Lo accepted")
+	}
+}

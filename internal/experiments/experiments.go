@@ -1,0 +1,783 @@
+// Package experiments implements the paper's evaluation as reusable,
+// parameterized experiment runners. Each function regenerates one table,
+// figure, or ablation; cmd/ binaries render the results and the root
+// bench_test.go wraps them as benchmarks, so both always agree.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/fluid"
+	"repro/internal/matching"
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/routing"
+	"repro/internal/schedule"
+	"repro/internal/workload"
+)
+
+// Fig2fPoint is one x-value of the Figure 2(f) sweep.
+type Fig2fPoint struct {
+	X      float64
+	Theory float64 // r = 1/(3−x)
+	Fluid  float64 // exact link-load θ of the built schedule + router
+	Sim    float64 // saturated 128-node packet simulation (0 if skipped)
+}
+
+// Fig2fConfig parameterizes the sweep.
+type Fig2fConfig struct {
+	N, Nc        int
+	Step         float64
+	RunSim       bool
+	WarmupSlots  int64
+	MeasureSlots int64
+	Backlog      int64
+	SizeCap      int
+	Seed         uint64
+}
+
+// DefaultFig2fConfig is the paper's setup: 128 nodes, 8 cliques,
+// pFabric web-search traffic.
+func DefaultFig2fConfig() Fig2fConfig {
+	return Fig2fConfig{
+		N: 128, Nc: 8, Step: 0.1, RunSim: true,
+		WarmupSlots: 25000, MeasureSlots: 25000, Backlog: 4096,
+		SizeCap: 1333, Seed: 42,
+	}
+}
+
+// Fig2f runs the throughput-vs-locality sweep. Points are independent,
+// so they run concurrently (one goroutine per x, bounded by GOMAXPROCS
+// via the runtime scheduler); results are returned in x order and are
+// deterministic (each point's simulator is seeded independently).
+func Fig2f(cfg Fig2fConfig) ([]Fig2fPoint, error) {
+	var xs []float64
+	for x := 0.0; x <= 1.0000001; x += cfg.Step {
+		if x > 1 {
+			x = 1
+		}
+		xs = append(xs, x)
+	}
+	size := workload.NewCapped(workload.WebSearch(), cfg.SizeCap)
+	out := make([]Fig2fPoint, len(xs))
+	errs := make([]error, len(xs))
+	var wg sync.WaitGroup
+	for i, x := range xs {
+		wg.Add(1)
+		go func(i int, x float64) {
+			defer wg.Done()
+			out[i], errs[i] = fig2fPoint(cfg, x, size)
+		}(i, x)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func fig2fPoint(cfg Fig2fConfig, x float64, size workload.SizeDist) (Fig2fPoint, error) {
+	nw, err := core.NewSORN(cfg.N, cfg.Nc, x)
+	if err != nil {
+		return Fig2fPoint{}, err
+	}
+	tm, err := nw.LocalityMatrix(x)
+	if err != nil {
+		return Fig2fPoint{}, err
+	}
+	fl, err := nw.Throughput(tm)
+	if err != nil {
+		return Fig2fPoint{}, err
+	}
+	pt := Fig2fPoint{X: x, Theory: model.SORNThroughput(x), Fluid: fl.Theta}
+	if cfg.RunSim {
+		st, err := nw.SimulateSaturated(core.SimOptions{
+			Seed:          cfg.Seed,
+			WarmupSlots:   cfg.WarmupSlots,
+			MeasureSlots:  cfg.MeasureSlots,
+			TargetBacklog: cfg.Backlog,
+		}, tm, size)
+		if err != nil {
+			return Fig2fPoint{}, err
+		}
+		pt.Sim = st.Throughput(cfg.N)
+	}
+	return pt, nil
+}
+
+// MismatchPoint is one entry of the locality-mismatch ablation (A1):
+// the schedule was provisioned for locality XPlanned but the offered
+// traffic has XActual.
+type MismatchPoint struct {
+	XPlanned, XActual float64
+	Model             float64 // closed-form r at (XActual, q*(XPlanned))
+	Fluid             float64 // measured θ on the built schedule
+}
+
+// LocalityMismatch quantifies §6's "healthy estimation error margin":
+// how much worst-case throughput degrades when the estimated locality is
+// wrong. The schedule is built for xPlanned; traffic has xActual.
+func LocalityMismatch(n, nc int, planned, actual []float64) ([]MismatchPoint, error) {
+	var out []MismatchPoint
+	for _, xp := range planned {
+		nw, err := core.NewSORN(n, nc, xp)
+		if err != nil {
+			return nil, err
+		}
+		for _, xa := range actual {
+			tm, err := nw.LocalityMatrix(xa)
+			if err != nil {
+				return nil, err
+			}
+			fl, err := nw.Throughput(tm)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, MismatchPoint{
+				XPlanned: xp,
+				XActual:  xa,
+				Model:    model.SORNThroughputAtQ(xa, nw.SORN.RealizedQ),
+				Fluid:    fl.Theta,
+			})
+		}
+	}
+	return out, nil
+}
+
+// QSweepPoint is one oversubscription value of ablation A2.
+type QSweepPoint struct {
+	Q     float64
+	Model float64
+	Fluid float64
+}
+
+// QSweep shows why q* = 2/(1−x) is the throughput knee: worst-case
+// throughput as a function of q at fixed locality.
+func QSweep(n, nc int, x float64, qs []float64) ([]QSweepPoint, error) {
+	var out []QSweepPoint
+	for _, q := range qs {
+		nw, err := core.NewSORNWithQ(n, nc, q)
+		if err != nil {
+			return nil, err
+		}
+		tm, err := nw.LocalityMatrix(x)
+		if err != nil {
+			return nil, err
+		}
+		fl, err := nw.Throughput(tm)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, QSweepPoint{
+			Q:     nw.SORN.RealizedQ,
+			Model: model.SORNThroughputAtQ(x, nw.SORN.RealizedQ),
+			Fluid: fl.Theta,
+		})
+	}
+	return out, nil
+}
+
+// NcSweepRow generalizes Table 1 across clique counts (ablation A3).
+type NcSweepRow struct {
+	Nc                 int
+	IntraDM, InterDM   int
+	IntraLatNS         float64
+	InterLatNS         float64
+	MeasuredIntraWait  int // worst-case intra circuit wait of the built schedule
+	TheoreticIntraWait int
+}
+
+// NcSweep reports the intra/inter latency split across clique counts at
+// the Table 1 deployment, and cross-checks the built schedule's actual
+// worst-case intra-circuit wait against the formula at a reduced scale
+// (scale n = p.N is too large to build; we build at buildN).
+func NcSweep(p model.Params, x float64, ncs []int, buildN int) ([]NcSweepRow, error) {
+	var out []NcSweepRow
+	q := model.SORNQ(x)
+	for _, nc := range ncs {
+		if p.N%nc != 0 || buildN%nc != 0 {
+			continue
+		}
+		rows, err := model.SORN(p, model.SORNParams{Nc: nc, X: x, TableVariant: true})
+		if err != nil {
+			return nil, err
+		}
+		row := NcSweepRow{
+			Nc:         nc,
+			IntraDM:    rows[0].DeltaMSlots(),
+			InterDM:    rows[1].DeltaMSlots(),
+			IntraLatNS: rows[0].MinLatencyNS,
+			InterLatNS: rows[1].MinLatencyNS,
+		}
+		if buildN/nc >= 2 {
+			built, err := schedule.BuildSORN(schedule.SORNConfig{N: buildN, Nc: nc, Q: q, MaxWeight: 64})
+			if err != nil {
+				return nil, err
+			}
+			c := matching.Compile(built.Schedule)
+			worst := 0
+			for _, v := range built.Cliques.Members(0) {
+				if v == 0 {
+					continue
+				}
+				if w, ok := c.MaxWait(0, v); ok && w > worst {
+					worst = w
+				}
+			}
+			row.MeasuredIntraWait = worst
+			row.TheoreticIntraWait = int(model.IntraCliqueDeltaM(buildN, nc, built.RealizedQ) + 0.999)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// BlastRow compares failure blast radius (ablation A4, paper §6). Link
+// blast radius is structurally (src=u pairs + dst=v pairs) the same for
+// both designs; the modularity win the paper argues for shows up in the
+// node blast radius — a failed node in a flat VLB design is an
+// intermediate for *every* pair, while in SORN it only relays for its
+// clique.
+type BlastRow struct {
+	Design    string
+	NodeBlast float64 // fraction of pairs affected by one node failure
+	IntraLink float64 // fraction affected by one intra-clique link failure
+	InterLink float64 // fraction affected by one inter-clique link failure
+}
+
+// BlastRadius compares SORN against the flat 1D ORN.
+func BlastRadius(n, nc int, q float64) ([]BlastRow, error) {
+	built, err := schedule.BuildSORN(schedule.SORNConfig{N: n, Nc: nc, Q: q})
+	if err != nil {
+		return nil, err
+	}
+	sornRouter := routing.NewSORN(built)
+	sornNode, err := fluid.NodeBlastRadius(n, sornRouter, 1)
+	if err != nil {
+		return nil, err
+	}
+	sornIntra, err := fluid.LinkBlastRadius(n, sornRouter, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	// Node 0's inter-clique circuit into the next clique lands on the
+	// same-local-index peer, node n/nc.
+	sornInter, err := fluid.LinkBlastRadius(n, sornRouter, 0, n/nc)
+	if err != nil {
+		return nil, err
+	}
+
+	vlb, err := routing.NewVLB(matching.Compile(matching.RoundRobin(n)))
+	if err != nil {
+		return nil, err
+	}
+	vlbNode, err := fluid.NodeBlastRadius(n, vlb, 1)
+	if err != nil {
+		return nil, err
+	}
+	vlbLink, err := fluid.LinkBlastRadius(n, vlb, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	return []BlastRow{
+		{Design: fmt.Sprintf("SORN Nc=%d", nc), NodeBlast: sornNode, IntraLink: sornIntra, InterLink: sornInter},
+		{Design: "1D ORN (flat VLB)", NodeBlast: vlbNode, IntraLink: vlbLink, InterLink: vlbLink},
+	}, nil
+}
+
+// AdaptationPhase is one epoch of the reconfiguration experiment (A5).
+type AdaptationPhase struct {
+	Name       string
+	Locality   float64 // offered locality during the phase
+	Q          float64 // oversubscription in force
+	Throughput float64 // measured saturation r during the phase
+}
+
+// Adaptation runs the semi-oblivious loop end to end in the packet
+// simulator: traffic starts at locality x1 with a matching schedule, the
+// workload shifts to x2 (mis-provisioned phase), then the control plane
+// observes, re-plans q, and reconfigures (recovered phase).
+func Adaptation(n, nc int, x1, x2 float64, phaseSlots int64, seed uint64) ([]AdaptationPhase, error) {
+	a, err := core.NewAdaptive(n, nc, x1, false)
+	if err != nil {
+		return nil, err
+	}
+	cl := a.Network.SORN.Cliques
+	tm1, err := workload.Locality(cl, x1)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := a.Adapt(tm1); err != nil {
+		return nil, err
+	}
+
+	sim, err := a.Network.NewSim(core.SimOptions{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	size := workload.FixedSize(8)
+	measure := func(name string, tm *workload.Matrix, x float64) (AdaptationPhase, error) {
+		st, err := sim.RunSaturated(netsim.SaturationConfig{
+			TM: tm, Size: size, TargetBacklog: 512,
+			WarmupSlots: phaseSlots / 3, MeasureSlots: phaseSlots,
+		})
+		if err != nil {
+			return AdaptationPhase{}, err
+		}
+		ph := AdaptationPhase{
+			Name: name, Locality: x, Q: a.Network.SORN.RealizedQ,
+			Throughput: st.Throughput(n),
+		}
+		// Reset counters for the next phase.
+		*st = netsim.Stats{}
+		return ph, nil
+	}
+
+	var phases []AdaptationPhase
+	ph, err := measure("matched (x1)", tm1, x1)
+	if err != nil {
+		return nil, err
+	}
+	phases = append(phases, ph)
+
+	// Workload shifts; schedule still provisioned for x1.
+	tm2, err := workload.Locality(cl, x2)
+	if err != nil {
+		return nil, err
+	}
+	ph, err = measure("shifted, stale schedule", tm2, x2)
+	if err != nil {
+		return nil, err
+	}
+	phases = append(phases, ph)
+
+	// Control plane observes the new aggregate pattern and reconfigures.
+	for i := 0; i < 5; i++ { // EWMA convergence
+		if _, err := a.Adapt(tm2); err != nil {
+			return nil, err
+		}
+	}
+	if err := sim.Reconfigure(a.Network.Schedule, a.Network.Router); err != nil {
+		return nil, err
+	}
+	ph, err = measure("shifted, adapted schedule", tm2, x2)
+	if err != nil {
+		return nil, err
+	}
+	phases = append(phases, ph)
+	return phases, nil
+}
+
+// GravityPoint is one q value of the gravity ablation (A6).
+type GravityPoint struct {
+	Q     float64
+	Theta float64
+}
+
+// Gravity evaluates SORN robustness to non-uniform aggregated demand:
+// worst-case throughput of the clique schedule under a gravity traffic
+// matrix (cluster masses as given), across oversubscription ratios.
+func Gravity(n, nc int, mass []float64, qs []float64) ([]GravityPoint, error) {
+	var out []GravityPoint
+	for _, q := range qs {
+		nw, err := core.NewSORNWithQ(n, nc, q)
+		if err != nil {
+			return nil, err
+		}
+		tm, err := workload.Gravity(nw.SORN.Cliques, mass)
+		if err != nil {
+			return nil, err
+		}
+		fl, err := nw.Throughput(tm)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GravityPoint{Q: nw.SORN.RealizedQ, Theta: fl.Theta})
+	}
+	return out, nil
+}
+
+// ExpressivityRow compares the uniform inter-clique schedule against the
+// demand-aware (Birkhoff–von Neumann) schedule of §5 "Expressivity"
+// under a partnered-clique traffic pattern (ablation A7).
+type ExpressivityRow struct {
+	Design string
+	Theta  float64
+	// MeanHops under the pattern (bandwidth tax).
+	MeanHops float64
+}
+
+// Expressivity builds both schedules for the same q and measures
+// worst-case throughput under a PairAffinity matrix (intra fraction xi,
+// partner fraction xp).
+func Expressivity(n, nc int, q, xi, xp float64) ([]ExpressivityRow, error) {
+	uniform, err := schedule.BuildSORN(schedule.SORNConfig{N: n, Nc: nc, Q: q})
+	if err != nil {
+		return nil, err
+	}
+	tm, err := workload.PairAffinity(uniform.Cliques, xi, xp)
+	if err != nil {
+		return nil, err
+	}
+	uniRes, err := fluid.Solve(uniform.Schedule, routing.NewSORN(uniform), tm)
+	if err != nil {
+		return nil, err
+	}
+
+	aware, err := schedule.BuildSORNDemandAware(schedule.DemandAwareConfig{
+		N: n, Nc: nc, Q: q,
+		Demand: tm.Aggregate(uniform.Cliques),
+		Floor:  0.1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	awareRes, err := fluid.Solve(aware.Schedule, routing.NewSORN(aware), tm)
+	if err != nil {
+		return nil, err
+	}
+	return []ExpressivityRow{
+		{Design: "uniform inter-clique", Theta: uniRes.Theta, MeanHops: uniRes.MeanHops},
+		{Design: "demand-aware (BvN)", Theta: awareRes.Theta, MeanHops: awareRes.MeanHops},
+	}, nil
+}
+
+// LatencyRow is one design/class of the packet-level latency comparison.
+type LatencyRow struct {
+	Design   string
+	Class    string // "intra-clique", "inter-clique", or "all"
+	P50us    float64
+	P99us    float64
+	MeanHops float64
+}
+
+// LatencyComparison measures what Table 1 derives analytically: cell
+// latency under light load for SORN (intra- and inter-clique classes
+// separately), the flat 1D ORN, and the 2D optimal ORN, all at the same
+// node count, slot length, propagation delay, and uplink (plane) count.
+// n must be a perfect square (for the 2D ORN) and divisible by nc.
+func LatencyComparison(n, nc, planes int, load float64, seed uint64) ([]LatencyRow, error) {
+	const slotNS, propNS = 100, 500
+	runOne := func(nw *core.Network, tm *workload.Matrix, design, class string) (LatencyRow, error) {
+		st, err := nw.SimulateOpenLoop(core.SimOptions{
+			SlotNS: slotNS, PropNS: propNS, Seed: seed,
+			LatencySampleEvery: 1, Planes: planes,
+		}, tm, workload.FixedSize(1), load, 30000)
+		if err != nil {
+			return LatencyRow{}, err
+		}
+		toUS := float64(slotNS) / 1000
+		return LatencyRow{
+			Design:   design,
+			Class:    class,
+			P50us:    st.LatencySlots.Percentile(50) * toUS,
+			P99us:    st.LatencySlots.Percentile(99) * toUS,
+			MeanHops: st.MeanHops(),
+		}, nil
+	}
+
+	var rows []LatencyRow
+	sorn, err := core.NewSORN(n, nc, 0.56)
+	if err != nil {
+		return nil, err
+	}
+	intraTM, err := workload.Locality(sorn.SORN.Cliques, 1)
+	if err != nil {
+		return nil, err
+	}
+	r, err := runOne(sorn, intraTM, "SORN", "intra-clique")
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+	interTM, err := workload.Locality(sorn.SORN.Cliques, 0)
+	if err != nil {
+		return nil, err
+	}
+	r, err = runOne(sorn, interTM, "SORN", "inter-clique")
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+
+	orn1, err := core.NewORN1D(n)
+	if err != nil {
+		return nil, err
+	}
+	r, err = runOne(orn1, workload.Uniform(n), "1D ORN (Sirius)", "all")
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+
+	orn2, err := core.NewORN(n, 2)
+	if err != nil {
+		return nil, err
+	}
+	r, err = runOne(orn2, workload.Uniform(n), "2D ORN", "all")
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, r)
+	return rows, nil
+}
+
+// PlanePoint is one uplink count of the plane sweep (U1).
+type PlanePoint struct {
+	Planes int
+	P50us  float64
+	P99us  float64
+}
+
+// PlaneSweep measures how parallel phase-staggered uplinks divide the
+// schedule-wait component of latency — the /uplinks term Table 1's
+// minimum-latency column depends on.
+func PlaneSweep(n, nc int, x float64, planes []int, load float64, seed uint64) ([]PlanePoint, error) {
+	nw, err := core.NewSORN(n, nc, x)
+	if err != nil {
+		return nil, err
+	}
+	tm, err := nw.LocalityMatrix(x)
+	if err != nil {
+		return nil, err
+	}
+	var out []PlanePoint
+	for _, p := range planes {
+		st, err := nw.SimulateOpenLoop(core.SimOptions{
+			SlotNS: 100, PropNS: 500, Seed: seed,
+			LatencySampleEvery: 1, Planes: p,
+		}, tm, workload.FixedSize(1), load, 25000)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PlanePoint{
+			Planes: p,
+			P50us:  st.LatencySlots.Percentile(50) * 0.1,
+			P99us:  st.LatencySlots.Percentile(99) * 0.1,
+		})
+	}
+	return out, nil
+}
+
+// SyncRow is one slot size of the synchronization-overhead model (S1).
+type SyncRow struct {
+	SlotNS   float64
+	SORNEff  float64 // capacity-weighted slot efficiency of SORN
+	FlatEff  float64 // flat 1D ORN efficiency (global guard every slot)
+	SORNThpt float64 // r(x) × efficiency
+	FlatThpt float64 // 0.5 × efficiency
+}
+
+// SyncOverhead evaluates §6's synchronization argument: smaller sync
+// domains tolerate shorter slots. guardPerLevelNS is the per-sync-tree-
+// level guard interval.
+func SyncOverhead(n, nc int, x, guardPerLevelNS float64, slotsNS []float64) []SyncRow {
+	q := model.SORNQ(x)
+	r := model.SORNThroughput(x)
+	var out []SyncRow
+	for _, slot := range slotsNS {
+		se := model.SORNSyncEfficiency(n, nc, q, slot, guardPerLevelNS)
+		fe := model.SyncEfficiency(n, slot, guardPerLevelNS)
+		out = append(out, SyncRow{
+			SlotNS:   slot,
+			SORNEff:  se,
+			FlatEff:  fe,
+			SORNThpt: r * se,
+			FlatThpt: 0.5 * fe,
+		})
+	}
+	return out
+}
+
+// StateRow is one network size of the NIC-state scaling analysis (S2).
+type StateRow struct {
+	N              int
+	SORNPeriod     int
+	SORNStateBytes int
+	FlatPeriod     int
+	FlatStateBytes int
+}
+
+// StateScaling reports the per-node hardware state (Figure 2c: one
+// wavelength index per schedule slot plus one queue descriptor per
+// neighbor) for SORN versus the flat 1D ORN as the network grows — the
+// §5 argument that SORN's state "scales well with system size". The
+// clique count grows with sqrt-ish scaling (nc = N/64 capped to keep
+// cliques of 64, as in Table 1).
+func StateScaling(ns []int, x float64) ([]StateRow, error) {
+	q := model.SORNQ(x)
+	var out []StateRow
+	for _, n := range ns {
+		nc := n / 64
+		if nc < 2 {
+			nc = 2
+		}
+		built, err := schedule.BuildSORN(schedule.SORNConfig{N: n, Nc: nc, Q: q})
+		if err != nil {
+			return nil, err
+		}
+		k := n / nc
+		neighbors := (k - 1) + (nc - 1)
+		period := built.Schedule.Period()
+		out = append(out, StateRow{
+			N:              n,
+			SORNPeriod:     period,
+			SORNStateBytes: 2*period + 16*neighbors,
+			FlatPeriod:     n - 1,
+			FlatStateBytes: 2*(n-1) + 16*(n-1),
+		})
+	}
+	return out, nil
+}
+
+// DiurnalPoint is one epoch of the diurnal-tracking experiment (A8).
+type DiurnalPoint struct {
+	Epoch     int
+	TrueX     float64 // offered locality this epoch
+	EstimateX float64 // controller's EWMA estimate
+	AdaptiveR float64 // fluid θ of the controller's schedule
+	StaticR   float64 // fluid θ of a schedule fixed at the mean locality
+	ClairvoyR float64 // fluid θ of a schedule rebuilt with perfect knowledge
+}
+
+// Diurnal drives the control loop through a sinusoidal locality cycle
+// (the §6 "diurnal utilization patterns" direction): locality oscillates
+// between lo and hi over `period` epochs for `epochs` epochs. The
+// adaptive controller observes each epoch's aggregate TM and re-plans q;
+// the static design is provisioned once for the mean locality.
+func Diurnal(n, nc int, lo, hi float64, period, epochs int) ([]DiurnalPoint, error) {
+	ctl, err := controlplane.NewController(n, nc, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := schedule.EqualCliques(n, nc)
+	if err != nil {
+		return nil, err
+	}
+	mean := (lo + hi) / 2
+	static, err := core.NewSORN(n, nc, mean)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []DiurnalPoint
+	for e := 0; e < epochs; e++ {
+		x := mean + (hi-lo)/2*math.Sin(2*math.Pi*float64(e)/float64(period))
+		tm, err := workload.Locality(cl, x)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctl.Observe(tm); err != nil {
+			return nil, err
+		}
+		plan, err := ctl.PlanNext()
+		if err != nil {
+			return nil, err
+		}
+		if err := ctl.Apply(plan); err != nil {
+			return nil, err
+		}
+		adaptive, err := fluid.Solve(plan.Built.Schedule, routing.NewSORN(plan.Built), tm)
+		if err != nil {
+			return nil, err
+		}
+		staticRes, err := fluid.Solve(static.Schedule, static.Router, tm)
+		if err != nil {
+			return nil, err
+		}
+		clair, err := core.NewSORN(n, nc, x)
+		if err != nil {
+			return nil, err
+		}
+		clairRes, err := clair.Throughput(tm)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DiurnalPoint{
+			Epoch:     e,
+			TrueX:     x,
+			EstimateX: plan.X,
+			AdaptiveR: adaptive.Theta,
+			StaticR:   staticRes.Theta,
+			ClairvoyR: clairRes.Theta,
+		})
+	}
+	return out, nil
+}
+
+// DiurnalSummary averages a diurnal run into three mean throughputs.
+func DiurnalSummary(pts []DiurnalPoint) (adaptive, static, clairvoyant float64) {
+	for _, p := range pts {
+		adaptive += p.AdaptiveR
+		static += p.StaticR
+		clairvoyant += p.ClairvoyR
+	}
+	n := float64(len(pts))
+	return adaptive / n, static / n, clairvoyant / n
+}
+
+// FCTPoint is one (design, load) cell of the FCT-vs-load experiment (F1).
+type FCTPoint struct {
+	Design string
+	Load   float64
+	P50us  float64
+	P99us  float64
+	Done   int64 // completed flows in the window
+}
+
+// FCTvsLoad measures completion times of latency-sensitive short flows
+// (16 cells, the class Table 1's latency column is about) under open-loop
+// traffic at increasing offered loads, for SORN (provisioned at the
+// traffic's locality) and the flat 1D ORN. SORN's shorter schedule cycle
+// keeps short-flow FCTs low; with heavy-tailed bulk mixes at higher
+// loads, queueing dominates medians for both designs and the comparison
+// belongs to the throughput experiments instead.
+func FCTvsLoad(n, nc int, x float64, loads []float64, slots int64, seed uint64) ([]FCTPoint, error) {
+	sorn, err := core.NewSORN(n, nc, x)
+	if err != nil {
+		return nil, err
+	}
+	sornTM, err := sorn.LocalityMatrix(x)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := core.NewORN1D(n)
+	if err != nil {
+		return nil, err
+	}
+	flatTM := workload.Uniform(n)
+
+	size := workload.FixedSize(16)
+	var out []FCTPoint
+	run := func(nw *core.Network, tm *workload.Matrix, design string, load float64) error {
+		st, err := nw.SimulateOpenLoop(core.SimOptions{
+			SlotNS: 100, PropNS: 500, Seed: seed, LatencySampleEvery: 16,
+		}, tm, size, load, slots)
+		if err != nil {
+			return err
+		}
+		out = append(out, FCTPoint{
+			Design: design,
+			Load:   load,
+			P50us:  st.FCTSlots.Percentile(50) * 0.1,
+			P99us:  st.FCTSlots.Percentile(99) * 0.1,
+			Done:   st.CompletedFlows,
+		})
+		return nil
+	}
+	for _, load := range loads {
+		if err := run(sorn, sornTM, "SORN", load); err != nil {
+			return nil, err
+		}
+		if err := run(flat, flatTM, "1D ORN", load); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

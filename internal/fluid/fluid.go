@@ -1,0 +1,134 @@
+// Package fluid computes exact worst-case throughput for an oblivious or
+// semi-oblivious routing scheme over a circuit schedule: it accumulates
+// the expected load every traffic-matrix entry places on every directed
+// virtual link (via the router's path distribution), compares against the
+// link capacities the schedule provides, and reports the maximum demand
+// scaling θ at which no link exceeds capacity.
+//
+// With a saturation traffic matrix (every row summing to 1 node
+// bandwidth), θ is exactly the paper's throughput metric r: the fraction
+// of node bandwidth deliverable to final destinations. This reproduces
+// the theoretical series of Figure 2(f) from first principles rather than
+// from the closed form, and cross-validates internal/model.
+package fluid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matching"
+	"repro/internal/routing"
+	"repro/internal/workload"
+)
+
+// Result reports a fluid solve.
+type Result struct {
+	// Theta is the max demand scaling with all links within capacity.
+	Theta float64
+	// BottleneckSrc/Dst identify the binding link.
+	BottleneckSrc, BottleneckDst int
+	// BottleneckLoad and BottleneckCap are that link's load (at scaling
+	// 1) and capacity.
+	BottleneckLoad, BottleneckCap float64
+	// MeanHops is the demand-weighted mean path length.
+	MeanHops float64
+	// LinkCount is the number of loaded links.
+	LinkCount int
+}
+
+// Solve computes link loads for the traffic matrix under the router's
+// path distribution and returns the throughput scaling. The schedule
+// provides capacities (fraction of node bandwidth per virtual link).
+func Solve(s *matching.Schedule, router routing.Router, tm *workload.Matrix) (*Result, error) {
+	if tm.N != s.N {
+		return nil, fmt.Errorf("fluid: matrix over %d nodes, schedule over %d", tm.N, s.N)
+	}
+	if err := tm.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Capacities from the schedule.
+	cap := make([][]float64, s.N)
+	for u := range cap {
+		cap[u] = make([]float64, s.N)
+	}
+	inc := 1 / float64(s.Period())
+	for _, m := range s.Slots {
+		for u, v := range m {
+			cap[u][v] += inc
+		}
+	}
+
+	// Expected loads from the router's path distribution.
+	load := make([][]float64, s.N)
+	for u := range load {
+		load[u] = make([]float64, s.N)
+	}
+	hopWeighted, demandTotal := 0.0, 0.0
+	for src := 0; src < tm.N; src++ {
+		for dst := 0; dst < tm.N; dst++ {
+			rate := tm.Rates[src][dst]
+			if rate <= 0 {
+				continue
+			}
+			demandTotal += rate
+			var pathErr error
+			router.Paths(src, dst, func(p routing.Route, prob float64) {
+				hopWeighted += rate * prob * float64(p.Hops())
+				for i := 0; i+1 < len(p); i++ {
+					u, v := p[i], p[i+1]
+					if cap[u][v] <= 0 {
+						pathErr = fmt.Errorf("fluid: router %s uses link %d->%d absent from schedule",
+							router.Name(), u, v)
+						return
+					}
+					load[u][v] += rate * prob
+				}
+			})
+			if pathErr != nil {
+				return nil, pathErr
+			}
+		}
+	}
+	if demandTotal == 0 {
+		return nil, fmt.Errorf("fluid: traffic matrix is empty")
+	}
+
+	res := &Result{Theta: math.Inf(1), BottleneckSrc: -1, BottleneckDst: -1}
+	for u := 0; u < s.N; u++ {
+		for v := 0; v < s.N; v++ {
+			l := load[u][v]
+			if l <= 0 {
+				continue
+			}
+			res.LinkCount++
+			theta := cap[u][v] / l
+			if theta < res.Theta {
+				res.Theta = theta
+				res.BottleneckSrc, res.BottleneckDst = u, v
+				res.BottleneckLoad, res.BottleneckCap = l, cap[u][v]
+			}
+		}
+	}
+	res.MeanHops = hopWeighted / demandTotal
+	return res, nil
+}
+
+// WorstCaseTheta returns the minimum θ over a set of traffic matrices —
+// the worst-case throughput over an adversarial family.
+func WorstCaseTheta(s *matching.Schedule, router routing.Router, tms []*workload.Matrix) (float64, error) {
+	worst := math.Inf(1)
+	for _, tm := range tms {
+		r, err := Solve(s, router, tm)
+		if err != nil {
+			return 0, err
+		}
+		if r.Theta < worst {
+			worst = r.Theta
+		}
+	}
+	if math.IsInf(worst, 1) {
+		return 0, fmt.Errorf("fluid: no traffic matrices supplied")
+	}
+	return worst, nil
+}

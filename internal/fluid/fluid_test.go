@@ -1,0 +1,305 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matching"
+	"repro/internal/model"
+	"repro/internal/routing"
+	"repro/internal/schedule"
+	"repro/internal/workload"
+)
+
+func TestVLBUniformIsHalf(t *testing.T) {
+	// Classic result: 2-hop VLB over a uniform round robin supports 50%
+	// throughput for uniform all-to-all traffic. Our VLB collapses the
+	// second hop when the random intermediate *is* the destination, so
+	// the exact finite-n value is (n−1)/(2n−3), which tends to 1/2.
+	n := 16
+	s := matching.RoundRobin(n)
+	v, err := routing.NewVLB(matching.Compile(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(s, v, workload.Uniform(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n-1) / float64(2*n-3)
+	if math.Abs(res.Theta-want) > 1e-9 {
+		t.Fatalf("VLB uniform θ = %f, want %f", res.Theta, want)
+	}
+	if res.Theta < 0.5 {
+		t.Fatalf("VLB uniform θ = %f below the 50%% guarantee", res.Theta)
+	}
+	if math.Abs(res.MeanHops-(2-1.0/15)) > 1e-9 {
+		// Direct path with prob 1/(n-1), else 2 hops.
+		t.Fatalf("mean hops = %f", res.MeanHops)
+	}
+}
+
+func TestDirectUniformIsOne(t *testing.T) {
+	// Direct routing on uniform traffic uses every circuit exactly at
+	// capacity: θ = 1 (paper §2: single-hop is optimal for uniform).
+	s := matching.RoundRobin(16)
+	d, err := routing.NewDirect(matching.Compile(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(s, d, workload.Uniform(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Theta-1) > 1e-9 {
+		t.Fatalf("direct uniform θ = %f, want 1", res.Theta)
+	}
+}
+
+func TestDirectPermutationCollapses(t *testing.T) {
+	// Direct routing on a permutation matrix gets only the single
+	// circuit's capacity, 1/(n-1): the reason oblivious designs need VLB.
+	n := 16
+	s := matching.RoundRobin(n)
+	d, _ := routing.NewDirect(matching.Compile(s))
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = (i + 1) % n
+	}
+	tm, err := workload.Permutation(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(s, d, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Theta-1/float64(n-1)) > 1e-9 {
+		t.Fatalf("direct permutation θ = %f, want %f", res.Theta, 1/float64(n-1))
+	}
+}
+
+func TestVLBPermutationStillHalf(t *testing.T) {
+	// VLB's guarantee: 50% even for adversarial permutations.
+	n := 16
+	s := matching.RoundRobin(n)
+	v, _ := routing.NewVLB(matching.Compile(s))
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = (i + 1) % n
+	}
+	tm, _ := workload.Permutation(perm)
+	res, err := Solve(s, v, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Theta < 0.5-1e-9 {
+		t.Fatalf("VLB permutation θ = %f, want >= 0.5", res.Theta)
+	}
+}
+
+func TestORN2DUniformIsQuarter(t *testing.T) {
+	o, err := schedule.BuildOptimalORN(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(o.Schedule, routing.NewORN(o), workload.Uniform(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst-case throughput of a 2D ORN is 25%; uniform traffic achieves
+	// it up to the O(1/a) slack from digits that need no correction.
+	if res.Theta < 0.25-1e-9 || res.Theta > 0.30 {
+		t.Fatalf("2D ORN uniform θ = %f, want ~0.25", res.Theta)
+	}
+}
+
+func TestSORNMatchesModelAcrossLocality(t *testing.T) {
+	// The central quantitative claim (Fig. 2f): SORN at q*=2/(1-x)
+	// supports r = 1/(3-x). The fluid solve over the real schedule and
+	// router must match model.SORNThroughputAtQ at the *realized* integer
+	// q, which itself is within a few percent of the ideal.
+	const n, nc = 64, 8
+	for _, x := range []float64{0, 0.2, 0.4, 0.56, 0.8} {
+		q := model.SORNQ(x)
+		built, err := schedule.BuildSORN(schedule.SORNConfig{N: n, Nc: nc, Q: q, MaxWeight: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm, err := workload.Locality(built.Cliques, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Solve(built.Schedule, routing.NewSORN(built), tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := model.SORNThroughputAtQ(x, built.RealizedQ)
+		// The fluid θ may exceed the conservative closed form slightly
+		// (the model counts 2 intra traversals even when the LB hop or
+		// final hop collapses) but never by much, and never fall below.
+		if res.Theta < want-1e-9 {
+			t.Errorf("x=%.2f: θ=%f below model bound %f", x, res.Theta, want)
+		}
+		if res.Theta > want*1.25 {
+			t.Errorf("x=%.2f: θ=%f too far above model %f", x, res.Theta, want)
+		}
+		// And the headline: θ must be within 15%% of 1/(3−x).
+		ideal := model.SORNThroughput(x)
+		if math.Abs(res.Theta-ideal)/ideal > 0.15 {
+			t.Errorf("x=%.2f: θ=%f vs ideal r=%f", x, res.Theta, ideal)
+		}
+	}
+}
+
+func TestSORNBeats2DORNThroughputWithLocality(t *testing.T) {
+	// Figure 2(f)'s qualitative claim: SORN exceeds the 2D ORN's 25%
+	// for every locality ratio, and approaches 1D ORN's 50% as x→1.
+	built, err := schedule.BuildSORN(schedule.SORNConfig{N: 64, Nc: 8, Q: model.SORNQ(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := workload.Locality(built.Cliques, 0)
+	res, err := Solve(built.Schedule, routing.NewSORN(built), tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Theta <= 0.25 {
+		t.Fatalf("SORN at x=0 gives θ=%f, should beat 2D ORN's 0.25", res.Theta)
+	}
+}
+
+func TestMeanHopsSORN(t *testing.T) {
+	// Mean hops ≈ 3 − x (paper: 2.44 average hops at x=0.56), slightly
+	// less because collapsed hops (LB hop = src, landing = dst) shorten
+	// some paths.
+	built, _ := schedule.BuildSORN(schedule.SORNConfig{N: 64, Nc: 8, Q: model.SORNQ(0.56)})
+	tm, _ := workload.Locality(built.Cliques, 0.56)
+	res, err := Solve(built.Schedule, routing.NewSORN(built), tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 - 0.56
+	if math.Abs(res.MeanHops-want) > 0.25 {
+		t.Fatalf("mean hops = %f, want ~%f", res.MeanHops, want)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	s := matching.RoundRobin(8)
+	v, _ := routing.NewVLB(matching.Compile(s))
+	if _, err := Solve(s, v, workload.Uniform(4)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := Solve(s, v, workload.NewMatrix(8)); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	bad := workload.Uniform(8)
+	bad.Rates[0][0] = 1
+	if _, err := Solve(s, v, bad); err == nil {
+		t.Error("invalid matrix accepted")
+	}
+}
+
+func TestRouterUsingAbsentLinkRejected(t *testing.T) {
+	// A direct router built over a full schedule, solved against a
+	// partial schedule, must be rejected, not silently mis-accounted.
+	full := matching.RoundRobin(8)
+	d, _ := routing.NewDirect(matching.Compile(full))
+	partial := schedule.TopologyA().Schedule
+	if _, err := Solve(partial, d, workload.Uniform(8)); err == nil {
+		t.Error("router using absent links accepted")
+	}
+}
+
+func TestWorstCaseTheta(t *testing.T) {
+	s := matching.RoundRobin(8)
+	v, _ := routing.NewVLB(matching.Compile(s))
+	perm := make([]int, 8)
+	for i := range perm {
+		perm[i] = (i + 1) % 8
+	}
+	ptm, _ := workload.Permutation(perm)
+	worst, err := WorstCaseTheta(s, v, []*workload.Matrix{workload.Uniform(8), ptm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(worst-0.5) > 1e-9 {
+		t.Fatalf("worst θ = %f", worst)
+	}
+	if _, err := WorstCaseTheta(s, v, nil); err == nil {
+		t.Error("empty matrix set accepted")
+	}
+}
+
+func TestBottleneckReported(t *testing.T) {
+	s := matching.RoundRobin(8)
+	v, _ := routing.NewVLB(matching.Compile(s))
+	res, err := Solve(s, v, workload.Uniform(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BottleneckSrc < 0 || res.BottleneckDst < 0 {
+		t.Fatal("no bottleneck reported")
+	}
+	if res.BottleneckCap <= 0 || res.BottleneckLoad <= 0 {
+		t.Fatal("bottleneck load/cap not populated")
+	}
+	if math.Abs(res.BottleneckCap/res.BottleneckLoad-res.Theta) > 1e-9 {
+		t.Fatal("bottleneck inconsistent with theta")
+	}
+	if res.LinkCount == 0 {
+		t.Fatal("no loaded links counted")
+	}
+}
+
+func BenchmarkSolveSORN128(b *testing.B) {
+	built, err := schedule.BuildSORN(schedule.SORNConfig{N: 128, Nc: 8, Q: 4.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, err := workload.Locality(built.Cliques, 0.56)
+	if err != nil {
+		b.Fatal(err)
+	}
+	router := routing.NewSORN(built)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(built.Schedule, router, tm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestHeteroScheduleRoutableAndStructured(t *testing.T) {
+	// Heterogeneous physical cliques (16, 8, 8) via the virtual-clique
+	// reduction: the schedule must route a physical-locality workload,
+	// and beat a uniform schedule that ignores the physical structure.
+	h, err := schedule.BuildHetero([]int{16, 8, 8}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := workload.Locality(h.Physical, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(h.Built.Schedule, routing.NewSORN(h.Built), tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Theta < 0.15 {
+		t.Fatalf("hetero θ = %f implausibly low", res.Theta)
+	}
+	// Baseline: a demand-oblivious uniform virtual-clique schedule.
+	uniform, err := schedule.BuildSORN(schedule.SORNConfig{N: 32, Nc: 4, Q: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniRes, err := Solve(uniform.Schedule, routing.NewSORN(uniform), tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Theta <= uniRes.Theta {
+		t.Fatalf("hetero θ=%f should beat structure-blind uniform θ=%f", res.Theta, uniRes.Theta)
+	}
+}

@@ -1,0 +1,242 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// approx asserts relative closeness.
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestTable1ORN1DRow(t *testing.T) {
+	r := ORN1D(Table1Params())
+	if r.MaxHops != 2 || r.DeltaMSlots() != 4095 {
+		t.Fatalf("hops=%d δm=%d", r.MaxHops, r.DeltaMSlots())
+	}
+	approx(t, "1D min latency µs", r.MinLatencyMicros(), 26.59, 0.01)
+	approx(t, "1D throughput", r.Throughput, 0.5, 0)
+	approx(t, "1D bw cost", r.BWCost, 2, 0)
+}
+
+func TestTable1ORN2DRow(t *testing.T) {
+	r, err := ORN(Table1Params(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxHops != 4 || r.DeltaMSlots() != 252 {
+		t.Fatalf("hops=%d δm=%d", r.MaxHops, r.DeltaMSlots())
+	}
+	approx(t, "2D min latency µs", r.MinLatencyMicros(), 3.575, 0.01)
+	approx(t, "2D throughput", r.Throughput, 0.25, 0)
+	approx(t, "2D bw cost", r.BWCost, 4, 0)
+}
+
+func TestTable1OperaRows(t *testing.T) {
+	rows := Opera(Table1Params(), DefaultOperaParams())
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	short, bulk := rows[0], rows[1]
+	if short.MaxHops != 4 || short.DeltaMSlots() != 0 {
+		t.Fatalf("short hops=%d δm=%d", short.MaxHops, short.DeltaMSlots())
+	}
+	approx(t, "opera short latency µs", short.MinLatencyMicros(), 2.0, 1e-9)
+	if bulk.MaxHops != 2 || bulk.DeltaMSlots() != 4095 {
+		t.Fatalf("bulk hops=%d δm=%d", bulk.MaxHops, bulk.DeltaMSlots())
+	}
+	// Paper prints 23,034 µs, omitting the (negligible) 1 µs propagation.
+	approx(t, "opera bulk latency µs", bulk.MinLatencyMicros(), 23035.4, 0.1)
+	approx(t, "opera throughput", bulk.Throughput, 0.3125, 0)
+	approx(t, "opera bw cost", bulk.BWCost, 3.2, 0)
+}
+
+func TestTable1SORNRows(t *testing.T) {
+	p := Table1Params()
+	cases := []struct {
+		nc                     int
+		intraDM, interDM       int
+		intraLatUS, interLatUS float64
+	}{
+		{64, 77, 364, 1.48, 3.78},
+		{32, 155, 296, 1.97, 3.35},
+	}
+	for _, c := range cases {
+		rows, err := SORN(p, SORNParams{Nc: c.nc, X: 0.56, TableVariant: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		intra, inter := rows[0], rows[1]
+		if intra.MaxHops != 2 || inter.MaxHops != 3 {
+			t.Fatalf("Nc=%d hops %d/%d", c.nc, intra.MaxHops, inter.MaxHops)
+		}
+		if intra.DeltaMSlots() != c.intraDM {
+			t.Errorf("Nc=%d intra δm = %d, want %d", c.nc, intra.DeltaMSlots(), c.intraDM)
+		}
+		if inter.DeltaMSlots() != c.interDM {
+			t.Errorf("Nc=%d inter δm = %d, want %d", c.nc, inter.DeltaMSlots(), c.interDM)
+		}
+		approx(t, "intra latency", intra.MinLatencyMicros(), c.intraLatUS, 0.01)
+		approx(t, "inter latency", inter.MinLatencyMicros(), c.interLatUS, 0.01)
+		approx(t, "throughput", intra.Throughput, 0.4098, 0.0001)
+		approx(t, "bw cost", intra.BWCost, 2.44, 1e-9)
+	}
+}
+
+func TestSORNTextVsTableVariant(t *testing.T) {
+	// Document the paper's internal inconsistency: text formula gives a
+	// larger inter-clique δm than the printed table.
+	q := SORNQ(0.56)
+	text := InterCliqueDeltaM(4096, 64, q)
+	table := InterCliqueDeltaMTable(4096, 64, q)
+	if text <= table {
+		t.Fatalf("text δm %f should exceed table δm %f", text, table)
+	}
+	approx(t, "text inter δm", text, (q+1)*63+(q+1)/q*63, 1e-9)
+	if int(math.Ceil(table-1e-9)) != 364 {
+		t.Fatalf("table δm = %f, should ceil to 364", table)
+	}
+}
+
+func TestSORNQAndThroughput(t *testing.T) {
+	approx(t, "q*(0.56)", SORNQ(0.56), 2/0.44, 1e-12)
+	approx(t, "r(0.56)", SORNThroughput(0.56), 1/2.44, 1e-12)
+	approx(t, "r(0)", SORNThroughput(0), 1.0/3, 1e-12)
+	approx(t, "r(1)", SORNThroughput(1), 0.5, 1e-12)
+	if !math.IsInf(SORNQ(1), 1) {
+		t.Fatal("q*(1) should be +Inf")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SORNQ(-1) did not panic")
+		}
+	}()
+	SORNQ(-1)
+}
+
+func TestSORNThroughputAtQOptimality(t *testing.T) {
+	// r is maximized at q* = 2/(1-x): property test over x and q.
+	if err := quick.Check(func(xi, qi uint8) bool {
+		x := float64(xi%100) / 100
+		qStar := SORNQ(x)
+		rStar := SORNThroughputAtQ(x, qStar)
+		q := 0.1 + float64(qi)
+		return SORNThroughputAtQ(x, q) <= rStar+1e-12
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// At q*, r equals 1/(3-x).
+	for _, x := range []float64{0, 0.25, 0.56, 0.9} {
+		approx(t, "r at q*", SORNThroughputAtQ(x, SORNQ(x)), SORNThroughput(x), 1e-12)
+	}
+}
+
+func TestSORNThroughputAtQEdges(t *testing.T) {
+	// x = 1: inter bound vanishes, only the intra bound applies.
+	approx(t, "r(1, q=8)", SORNThroughputAtQ(1, 8), 8.0/18, 1e-12)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("q<=0 did not panic")
+		}
+	}()
+	SORNThroughputAtQ(0.5, 0)
+}
+
+func TestThroughputBounds(t *testing.T) {
+	// r(x) must lie in [1/3, 1/2] and increase with x (paper §4).
+	prev := 0.0
+	for x := 0.0; x <= 1.0001; x += 0.01 {
+		xx := math.Min(x, 1)
+		r := SORNThroughput(xx)
+		if r < 1.0/3-1e-12 || r > 0.5+1e-12 {
+			t.Fatalf("r(%f) = %f outside [1/3, 1/2]", xx, r)
+		}
+		if r < prev {
+			t.Fatalf("r not monotone at %f", xx)
+		}
+		prev = r
+	}
+}
+
+func TestSORNErrors(t *testing.T) {
+	p := Table1Params()
+	if _, err := SORN(p, SORNParams{Nc: 1, X: 0.5}); err == nil {
+		t.Error("Nc=1 accepted")
+	}
+	if _, err := SORN(p, SORNParams{Nc: 100, X: 0.5}); err == nil {
+		t.Error("non-divisor Nc accepted")
+	}
+	if _, err := ORN(p, 0); err == nil {
+		t.Error("h=0 accepted")
+	}
+}
+
+func TestTable1Complete(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("Table 1 has %d rows, want 8", len(rows))
+	}
+	// Headline comparisons the paper draws (§4): SORN throughput between
+	// 2D and 1D ORN; SORN intra latency below 2D ORN and Opera short.
+	var orn1d, orn2d, sornIntra64 Row
+	for _, r := range rows {
+		switch {
+		case r.System == "Optimal ORN 1D (Sirius)":
+			orn1d = r
+		case r.System == "Optimal ORN 2D":
+			orn2d = r
+		case r.System == "SORN Nc=64" && r.Variant == "intra-clique":
+			sornIntra64 = r
+		}
+	}
+	if !(sornIntra64.Throughput > orn2d.Throughput && sornIntra64.Throughput < orn1d.Throughput) {
+		t.Errorf("SORN throughput %f not between 2D %f and 1D %f",
+			sornIntra64.Throughput, orn2d.Throughput, orn1d.Throughput)
+	}
+	if sornIntra64.MinLatencyNS >= orn2d.MinLatencyNS {
+		t.Errorf("SORN intra latency %f not below 2D ORN %f",
+			sornIntra64.MinLatencyNS, orn2d.MinLatencyNS)
+	}
+	if orn1d.MinLatencyNS < 10*sornIntra64.MinLatencyNS {
+		t.Errorf("SORN should beat 1D ORN latency by an order of magnitude: %f vs %f",
+			sornIntra64.MinLatencyNS, orn1d.MinLatencyNS)
+	}
+}
+
+func TestSyncEfficiency(t *testing.T) {
+	// Degenerate domain: no guard.
+	if SyncEfficiency(1, 100, 5) != 1 {
+		t.Fatal("single-node domain should have no guard")
+	}
+	// 16-node domain, 5 ns/level, 100 ns slots: 1 - 20/100 = 0.8.
+	approx(t, "eff(16)", SyncEfficiency(16, 100, 5), 0.8, 1e-12)
+	// Guard exceeding the slot floors at zero.
+	if SyncEfficiency(1<<30, 10, 5) != 0 {
+		t.Fatal("oversized guard should floor at 0")
+	}
+}
+
+func TestSORNSyncEfficiencyBeatsFlat(t *testing.T) {
+	// At 4096 nodes with 100 ns slots and 4 ns/level guards, the flat
+	// design pays log2(4096)=12 levels on every slot; SORN pays the
+	// clique guard on its q/(q+1) intra share.
+	q := SORNQ(0.56)
+	sorn := SORNSyncEfficiency(4096, 64, q, 100, 4)
+	flat := SyncEfficiency(4096, 100, 4)
+	if sorn <= flat {
+		t.Fatalf("SORN sync efficiency %f not above flat %f", sorn, flat)
+	}
+	// Weighted combination must sit between the intra and global values.
+	intra := SyncEfficiency(64, 100, 4)
+	if sorn >= intra || sorn <= flat {
+		t.Fatalf("weighted efficiency %f outside (%f, %f)", sorn, flat, intra)
+	}
+}

@@ -1,0 +1,657 @@
+// Package netsim is a slot-synchronous, cell-level discrete-event
+// simulator for circuit-switched reconfigurable networks. Every time slot,
+// each node has one active circuit (per plane) given by the schedule; a
+// node transmits at most one cell per plane per slot on that circuit, the
+// cell arrives after a propagation delay, and intermediate nodes queue
+// cells per next-hop in virtual output queues. This is the abstraction
+// the paper's designs share (Sirius, Opera, optimal ORNs, SORN), and the
+// vehicle for the Figure 2(f) simulation: 128 nodes in 8 cliques under
+// pFabric-style traffic.
+//
+// Routing is source routing chosen per cell at injection: the router's
+// "first available" load-balancing hop rotates with the injection slot,
+// reproducing the per-slot spreading real designs get from transmitting
+// consecutive cells on consecutive circuits (paper §4, footnote 1).
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// maxWaypoints bounds route length (3D ORN uses 6 hops; SORN uses 3).
+const maxWaypoints = 8
+
+// Config parameterizes a simulation.
+type Config struct {
+	Schedule *matching.Schedule
+	Router   routing.Router
+	// SlotNS and PropNS set the slot duration and per-hop propagation
+	// delay in nanoseconds. Propagation is rounded up to whole slots.
+	SlotNS int64
+	PropNS int64
+	Seed   uint64
+	// LatencySampleEvery records the end-to-end latency of every k-th
+	// delivered cell (0 disables sampling).
+	LatencySampleEvery int
+	// QueueLimit caps each virtual output queue, in cells; arrivals to a
+	// full queue are dropped (counted in Stats.DroppedCells). 0 means
+	// unbounded — the default, since the paper's designs assume deep
+	// NIC buffers.
+	QueueLimit int
+	// Planes is the number of parallel uplinks per node (default 1).
+	// Each plane runs the same schedule phase-staggered by
+	// period/Planes slots, and a node transmits up to one cell per plane
+	// per slot — the paper's 16-uplink deployment, and the reason
+	// Table 1 divides δm by the uplink count.
+	Planes int
+}
+
+// FlowState tracks one flow through the simulator.
+type FlowState struct {
+	id        int
+	src, dst  int
+	size      int
+	delivered int
+	lost      int
+	arrival   int64
+	done      int64 // slot of last cell delivery; -1 while in flight
+}
+
+// Done reports whether every cell of the flow has been delivered.
+func (f *FlowState) Done() bool { return f.done >= 0 }
+
+// CompletionSlots returns the flow completion time in slots, or -1 while
+// the flow is still in flight.
+func (f *FlowState) CompletionSlots() int64 {
+	if f.done < 0 {
+		return -1
+	}
+	return f.done - f.arrival
+}
+
+// Delivered returns how many of the flow's cells have arrived.
+func (f *FlowState) Delivered() int { return f.delivered }
+
+// Lost returns how many of the flow's cells were dropped by failed links
+// or nodes.
+func (f *FlowState) Lost() int { return f.lost }
+
+// Endpoints returns the flow's source and destination.
+func (f *FlowState) Endpoints() (src, dst int) { return f.src, f.dst }
+
+// cell is one port-slot of data in flight. Waypoints are the nodes after
+// the source; idx points at the next one.
+type cell struct {
+	flow      *FlowState
+	waypoints [maxWaypoints]int16
+	n, idx    int8
+	fresh     bool // still queued at its source, never transmitted
+	injected  int64
+}
+
+// fifo is a slice-backed queue of cells.
+type fifo struct {
+	buf  []cell
+	head int
+}
+
+func (f *fifo) push(c cell) { f.buf = append(f.buf, c) }
+
+func (f *fifo) pop() (cell, bool) {
+	if f.head >= len(f.buf) {
+		return cell{}, false
+	}
+	c := f.buf[f.head]
+	f.head++
+	// Reclaim space once the consumed prefix dominates.
+	if f.head > 64 && f.head*2 >= len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return c, true
+}
+
+func (f *fifo) len() int { return len(f.buf) - f.head }
+
+// arrival is a cell in flight toward a node.
+type arrival struct {
+	c  cell
+	at int16 // destination node of this hop
+}
+
+// Stats accumulates measurement-window counters.
+type Stats struct {
+	DeliveredCells int64 // final-hop deliveries
+	InjectedCells  int64
+	SentCells      int64 // link transmissions (all hops)
+	IdleSlots      int64 // node-plane-slots with an active circuit but no cell
+	LostCells      int64 // dropped by failed links/nodes
+	DroppedCells   int64 // dropped by full queues (QueueLimit)
+	MeasuredSlots  int64
+	CompletedFlows int64
+	Planes         int // parallel uplinks measured (normalizes Throughput)
+
+	// LatencySlots samples end-to-end cell latency (injection→delivery),
+	// in slots. FCTSlots samples flow completion times. LatencyByHops
+	// breaks the latency samples down by path length, separating e.g.
+	// SORN's 2-hop intra-clique traffic from its 3-hop inter-clique
+	// traffic in a single run (index = hop count; 0 unused).
+	LatencySlots  stats.Sample
+	FCTSlots      stats.Sample
+	LatencyByHops [maxWaypoints]stats.Sample
+}
+
+// Throughput returns delivered cells per node per slot per plane — the
+// paper's r (fraction of node bandwidth) when the network is saturated.
+func (s *Stats) Throughput(n int) float64 {
+	if s.MeasuredSlots == 0 {
+		return 0
+	}
+	planes := s.Planes
+	if planes == 0 {
+		planes = 1
+	}
+	return float64(s.DeliveredCells) / float64(s.MeasuredSlots) / float64(n) / float64(planes)
+}
+
+// MeanHops returns transmissions per delivered cell (the bandwidth tax).
+func (s *Stats) MeanHops() float64 {
+	if s.DeliveredCells == 0 {
+		return 0
+	}
+	return float64(s.SentCells) / float64(s.DeliveredCells)
+}
+
+// Sim is a running simulation. Create with New, drive with Step/Run
+// variants, read Stats.
+type Sim struct {
+	cfg       Config
+	n         int
+	sched     *matching.Schedule
+	router    routing.Router
+	propSlots int64
+	slot      int64
+	planes    int
+	offsets   []int64 // per-plane phase offset into the schedule
+	rng       *rng.RNG
+
+	voq       []fifo      // n*n queues, index u*n+next
+	backlog   []int64     // queued cells per node (excludes in-flight)
+	fresh     []int64     // never-transmitted cells queued per source
+	freshPair []int64     // never-transmitted cells per (src,dst) pair
+	ring      [][]arrival // delay line, indexed slot % len
+
+	flows      []*FlowState
+	nextFlow   int
+	measuring  bool
+	stats      Stats
+	hasCircuit []bool // u*n+v: schedule ever circuits u→v
+
+	failedLink map[int64]bool // u*n+v circuits that drop transmissions
+	failedNode []bool
+}
+
+// New builds a simulator.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Schedule == nil || cfg.Router == nil {
+		return nil, fmt.Errorf("netsim: schedule and router are required")
+	}
+	if err := cfg.Schedule.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SlotNS <= 0 {
+		cfg.SlotNS = 100
+	}
+	if cfg.PropNS < 0 {
+		return nil, fmt.Errorf("netsim: negative propagation delay")
+	}
+	if cfg.Router.MaxHops()+1 > maxWaypoints {
+		return nil, fmt.Errorf("netsim: router %s exceeds %d waypoints", cfg.Router.Name(), maxWaypoints)
+	}
+	n := cfg.Schedule.N
+	if n > 1<<15 {
+		return nil, fmt.Errorf("netsim: %d nodes exceed int16 node ids", n)
+	}
+	if cfg.Planes == 0 {
+		cfg.Planes = 1
+	}
+	if cfg.Planes < 1 {
+		return nil, fmt.Errorf("netsim: plane count %d invalid", cfg.Planes)
+	}
+	prop := (cfg.PropNS + cfg.SlotNS - 1) / cfg.SlotNS
+	s := &Sim{
+		cfg:        cfg,
+		n:          n,
+		sched:      cfg.Schedule,
+		router:     cfg.Router,
+		propSlots:  prop,
+		planes:     cfg.Planes,
+		rng:        rng.New(cfg.Seed),
+		voq:        make([]fifo, n*n),
+		backlog:    make([]int64, n),
+		fresh:      make([]int64, n),
+		freshPair:  make([]int64, n*n),
+		ring:       make([][]arrival, prop+1),
+		failedNode: make([]bool, n),
+		failedLink: make(map[int64]bool),
+	}
+	s.hasCircuit = circuitMap(cfg.Schedule)
+	s.stats.Planes = cfg.Planes
+	period := int64(cfg.Schedule.Period())
+	for p := 0; p < cfg.Planes; p++ {
+		s.offsets = append(s.offsets, int64(p)*period/int64(cfg.Planes))
+	}
+	return s, nil
+}
+
+// circuitMap builds the u→v existence bitmap for a schedule.
+func circuitMap(sched *matching.Schedule) []bool {
+	n := sched.N
+	has := make([]bool, n*n)
+	for _, m := range sched.Slots {
+		for u, v := range m {
+			has[u*n+v] = true
+		}
+	}
+	return has
+}
+
+// Slot returns the current absolute slot.
+func (s *Sim) Slot() int64 { return s.slot }
+
+// Stats returns the accumulated measurement-window statistics.
+func (s *Sim) Stats() *Stats { return &s.stats }
+
+// Backlog returns the total number of queued cells.
+func (s *Sim) Backlog() int64 {
+	total := int64(0)
+	for _, b := range s.backlog {
+		total += b
+	}
+	return total
+}
+
+// InFlight returns the number of cells currently propagating on links.
+func (s *Sim) InFlight() int {
+	total := 0
+	for _, bucket := range s.ring {
+		total += len(bucket)
+	}
+	return total
+}
+
+// Drained reports whether no cells remain queued or in flight.
+func (s *Sim) Drained() bool { return s.Backlog() == 0 && s.InFlight() == 0 }
+
+// StartMeasuring begins counting deliveries/injections (after warmup).
+func (s *Sim) StartMeasuring() { s.measuring = true }
+
+// FailLink makes the circuit u→v drop every transmission.
+func (s *Sim) FailLink(u, v int) { s.failedLink[int64(u)*int64(s.n)+int64(v)] = true }
+
+// FailNode makes node u neither transmit nor forward (deliveries to u as
+// final destination still count as losses — cells vanish).
+func (s *Sim) FailNode(u int) { s.failedNode[u] = true }
+
+// InjectFlow source-routes a flow's cells and queues them at the source.
+// Each cell's route is computed as if injected one slot later than the
+// previous, rotating the load-balancing hop across circuits.
+func (s *Sim) InjectFlow(src, dst, size int) *FlowState {
+	if src == dst {
+		panic("netsim: self flow")
+	}
+	s.nextFlow++
+	f := &FlowState{id: s.nextFlow, src: src, dst: dst, size: size, arrival: s.slot, done: -1}
+	s.flows = append(s.flows, f)
+	s.fresh[src] += int64(size)
+	s.freshPair[src*s.n+dst] += int64(size)
+	for i := 0; i < size; i++ {
+		p := s.router.Route(src, dst, int(s.slot)+i, s.rng)
+		var c cell
+		c.flow = f
+		c.fresh = true
+		c.injected = s.slot
+		c.n = int8(len(p) - 1)
+		for h := 1; h < len(p); h++ {
+			c.waypoints[h-1] = int16(p[h])
+		}
+		s.enqueue(src, c)
+	}
+	if s.measuring {
+		s.stats.InjectedCells += int64(size)
+	}
+	return f
+}
+
+// enqueue places a cell into node u's VOQ for its next waypoint,
+// dropping it if the queue is at its limit.
+func (s *Sim) enqueue(u int, c cell) {
+	next := int(c.waypoints[c.idx])
+	q := &s.voq[u*s.n+next]
+	if s.cfg.QueueLimit > 0 && q.len() >= s.cfg.QueueLimit {
+		c.flow.lost++
+		if c.fresh {
+			s.fresh[u]--
+			s.freshPair[u*s.n+c.flow.dst]--
+		}
+		if s.measuring {
+			s.stats.DroppedCells++
+		}
+		return
+	}
+	s.voq[u*s.n+next].push(c)
+	s.backlog[u]++
+}
+
+// Step advances the simulation by one slot.
+func (s *Sim) Step() {
+	// 1. Land cells whose propagation completes this slot.
+	idx := int(s.slot % int64(len(s.ring)))
+	for _, a := range s.ring[idx] {
+		s.land(int(a.at), a.c)
+	}
+	s.ring[idx] = s.ring[idx][:0]
+
+	// 2. Each node transmits one cell per plane on that plane's active
+	// circuit. Planes run the same schedule phase-staggered.
+	period := int64(s.sched.Period())
+	for p := 0; p < s.planes; p++ {
+		m := s.sched.Slots[(s.slot+s.offsets[p])%period]
+		for u := 0; u < s.n; u++ {
+			if s.failedNode[u] {
+				continue
+			}
+			v := m[u]
+			q := &s.voq[u*s.n+v]
+			c, ok := q.pop()
+			if !ok {
+				if s.measuring && s.backlog[u] > 0 {
+					s.stats.IdleSlots++
+				}
+				continue
+			}
+			s.backlog[u]--
+			if c.fresh {
+				s.fresh[u]--
+				s.freshPair[u*s.n+c.flow.dst]--
+				c.fresh = false
+			}
+			if s.failedLink[int64(u)*int64(s.n)+int64(v)] || s.failedNode[v] {
+				c.flow.lost++
+				if s.measuring {
+					s.stats.LostCells++
+				}
+				continue
+			}
+			if s.measuring {
+				s.stats.SentCells++
+			}
+			at := (s.slot + s.propSlots) % int64(len(s.ring))
+			s.ring[at] = append(s.ring[at], arrival{c: c, at: int16(v)})
+		}
+	}
+
+	s.slot++
+	if s.measuring {
+		s.stats.MeasuredSlots++
+	}
+}
+
+// land processes a cell arriving at node v.
+func (s *Sim) land(v int, c cell) {
+	c.idx++
+	if c.idx >= c.n {
+		// Final destination.
+		f := c.flow
+		f.delivered++
+		if s.measuring {
+			s.stats.DeliveredCells++
+			if k := s.cfg.LatencySampleEvery; k > 0 && s.stats.DeliveredCells%int64(k) == 0 {
+				lat := float64(s.slot - c.injected)
+				s.stats.LatencySlots.Add(lat)
+				s.stats.LatencyByHops[c.n].Add(lat)
+			}
+		}
+		if f.delivered == f.size {
+			f.done = s.slot
+			if s.measuring {
+				s.stats.CompletedFlows++
+				s.stats.FCTSlots.Add(float64(s.slot - f.arrival))
+			}
+		}
+		return
+	}
+	// After a reconfiguration, the cell's next circuit may no longer
+	// exist; re-route it from its landing node.
+	if !s.hasCircuit[v*s.n+int(c.waypoints[c.idx])] {
+		s.rerouteFrom(v, c)
+		return
+	}
+	s.enqueue(v, c)
+}
+
+// RunOpenLoop injects the given flows at their arrival slots and steps
+// until `until`. Flows must be sorted by arrival and arrive at or after
+// the current slot.
+func (s *Sim) RunOpenLoop(flows []workload.Flow, until int64) error {
+	i := 0
+	for s.slot < until {
+		for i < len(flows) && flows[i].Arrival <= s.slot {
+			f := flows[i]
+			if f.Arrival < 0 {
+				return fmt.Errorf("netsim: flow %d has negative arrival", f.ID)
+			}
+			s.InjectFlow(f.Src, f.Dst, f.Size)
+			i++
+		}
+		s.Step()
+	}
+	return nil
+}
+
+// SaturationConfig drives a closed-loop saturation run: every node keeps
+// at least TargetBacklog *fresh* (not yet transmitted) cells queued, with
+// destinations drawn from the traffic matrix and sizes from the size
+// distribution. Relayed cells queued at intermediate hops do not count
+// toward the target, so sources model infinite backlogs and the
+// bottleneck links stay busy. Delivered cells per node per slot during
+// the measurement window is the paper's throughput r.
+type SaturationConfig struct {
+	TM            *workload.Matrix
+	Size          workload.SizeDist
+	TargetBacklog int64
+	WarmupSlots   int64
+	MeasureSlots  int64
+
+	// PerPairBacklog, when positive, switches to per-pair saturation:
+	// every (src, dst) pair with positive demand keeps at least this many
+	// fresh cells queued (TargetBacklog is then ignored). This measures
+	// the schedule's capacity for the *matrix* — all pairs backlogged —
+	// rather than for one flow at a time, and is what Figure 2(f)'s
+	// worst-case throughput means. Heavy-tailed size distributions
+	// overshoot the target per pair; that only deepens queues.
+	PerPairBacklog int64
+}
+
+// RunSaturated executes a saturation experiment and returns the stats.
+func (s *Sim) RunSaturated(sc SaturationConfig) (*Stats, error) {
+	if err := sc.TM.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.TM.N != s.n {
+		return nil, fmt.Errorf("netsim: matrix over %d nodes, sim over %d", sc.TM.N, s.n)
+	}
+	if (sc.TargetBacklog <= 0 && sc.PerPairBacklog <= 0) || sc.WarmupSlots < 0 || sc.MeasureSlots <= 0 {
+		return nil, fmt.Errorf("netsim: invalid saturation config %+v", sc)
+	}
+	end := s.slot + sc.WarmupSlots + sc.MeasureSlots
+	measureAt := s.slot + sc.WarmupSlots
+	for s.slot < end {
+		if s.slot == measureAt {
+			s.StartMeasuring()
+		}
+		for u := 0; u < s.n; u++ {
+			if s.failedNode[u] || sc.TM.RowSum(u) <= 0 {
+				continue
+			}
+			if sc.PerPairBacklog > 0 {
+				for d := 0; d < s.n; d++ {
+					if sc.TM.Rates[u][d] <= 0 || s.failedNode[d] {
+						continue
+					}
+					for s.freshPair[u*s.n+d] < sc.PerPairBacklog {
+						s.InjectFlow(u, d, sc.Size.Sample(s.rng))
+					}
+				}
+				continue
+			}
+			for s.fresh[u] < sc.TargetBacklog {
+				dst := sc.TM.SampleDest(u, s.rng)
+				s.InjectFlow(u, dst, sc.Size.Sample(s.rng))
+			}
+		}
+		s.Step()
+	}
+	return &s.stats, nil
+}
+
+// Reconfigure swaps the schedule (and router) at a slot boundary and
+// re-routes every queued cell from its current node under the new
+// schedule — modeling the drain/re-route work of a semi-oblivious
+// topology update (§5). In-flight cells land first and are re-routed on
+// landing if their next circuit no longer exists.
+func (s *Sim) Reconfigure(sched *matching.Schedule, router routing.Router) error {
+	if err := sched.Validate(); err != nil {
+		return err
+	}
+	if sched.N != s.n {
+		return fmt.Errorf("netsim: new schedule over %d nodes, sim over %d", sched.N, s.n)
+	}
+	if router.MaxHops()+1 > maxWaypoints {
+		return fmt.Errorf("netsim: router %s exceeds %d waypoints", router.Name(), maxWaypoints)
+	}
+	s.sched = sched
+	s.router = router
+	s.hasCircuit = circuitMap(sched)
+	s.offsets = s.offsets[:0]
+	period := int64(sched.Period())
+	for p := 0; p < s.planes; p++ {
+		s.offsets = append(s.offsets, int64(p)*period/int64(s.planes))
+	}
+
+	// Re-route queued cells: each keeps its flow identity but gets a
+	// fresh path from its current node. In-flight cells are re-routed by
+	// land() if their old next circuit disappeared.
+	old := s.voq
+	s.voq = make([]fifo, s.n*s.n)
+	for i := range s.backlog {
+		s.backlog[i] = 0
+	}
+	for u := 0; u < s.n; u++ {
+		for v := 0; v < s.n; v++ {
+			q := &old[u*s.n+v]
+			for {
+				c, ok := q.pop()
+				if !ok {
+					break
+				}
+				s.rerouteFrom(u, c)
+			}
+		}
+	}
+	return nil
+}
+
+// rerouteFrom recomputes a cell's remaining path from node u.
+func (s *Sim) rerouteFrom(u int, c cell) {
+	dst := c.flow.dst
+	if u == dst {
+		// Shouldn't happen (cells at their destination are delivered on
+		// landing), but guard anyway.
+		s.land(u, cell{flow: c.flow, n: 1, idx: 1, injected: c.injected})
+		return
+	}
+	p := s.router.Route(u, dst, int(s.slot), s.rng)
+	c.n = int8(len(p) - 1)
+	c.idx = 0
+	for h := 1; h < len(p); h++ {
+		c.waypoints[h-1] = int16(p[h])
+	}
+	s.enqueue(u, c)
+}
+
+// FlowsCompleted returns how many injected flows have finished.
+func (s *Sim) FlowsCompleted() int {
+	done := 0
+	for _, f := range s.flows {
+		if f.done >= 0 {
+			done++
+		}
+	}
+	return done
+}
+
+// AffectedPairs returns the fraction of distinct (src, dst) pairs with
+// injected traffic that lost at least one cell — the packet-level blast
+// radius of the injected failures.
+func (s *Sim) AffectedPairs() float64 {
+	type pair struct{ s, d int }
+	seen := map[pair]bool{}
+	hit := map[pair]bool{}
+	for _, f := range s.flows {
+		p := pair{f.src, f.dst}
+		seen[p] = true
+		if f.lost > 0 {
+			hit[p] = true
+		}
+	}
+	if len(seen) == 0 {
+		return 0
+	}
+	return float64(len(hit)) / float64(len(seen))
+}
+
+// ReconfigureGraceful performs the §5 update protocol: identify the
+// circuits the new schedule removes, keep running until the queues on
+// those circuits drain (or maxDrainSlots elapse), then swap. It returns
+// the number of slots spent draining and the number of cells that had to
+// be force-re-routed because the drain window expired. A SORN q
+// rebalance (fixed neighbor superset) drains in zero slots.
+func (s *Sim) ReconfigureGraceful(sched *matching.Schedule, router routing.Router, maxDrainSlots int64) (drainSlots, rerouted int64, err error) {
+	if err := sched.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if sched.N != s.n {
+		return 0, 0, fmt.Errorf("netsim: new schedule over %d nodes, sim over %d", sched.N, s.n)
+	}
+	newHas := circuitMap(sched)
+	removedBacklog := func() int64 {
+		total := int64(0)
+		for u := 0; u < s.n; u++ {
+			for v := 0; v < s.n; v++ {
+				if s.hasCircuit[u*s.n+v] && !newHas[u*s.n+v] {
+					total += int64(s.voq[u*s.n+v].len())
+				}
+			}
+		}
+		return total
+	}
+	for drainSlots = 0; drainSlots < maxDrainSlots; drainSlots++ {
+		if removedBacklog() == 0 {
+			break
+		}
+		s.Step()
+	}
+	stranded := removedBacklog()
+	if err := s.Reconfigure(sched, router); err != nil {
+		return drainSlots, 0, err
+	}
+	return drainSlots, stranded, nil
+}

@@ -1,0 +1,710 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fluid"
+	"repro/internal/matching"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/schedule"
+	"repro/internal/workload"
+)
+
+func newSim(t *testing.T, sched *matching.Schedule, router routing.Router, seed uint64) *Sim {
+	t.Helper()
+	s, err := New(Config{Schedule: sched, Router: router, SlotNS: 100, PropNS: 500, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSingleCellDeterministicLatency(t *testing.T) {
+	// Round robin over 8 nodes, direct routing. Node 0's circuit to node
+	// 3 opens at slot 2 (shift 3); propagation is 5 slots; so a cell
+	// injected at slot 0 completes at slot 7.
+	sched := matching.RoundRobin(8)
+	d, err := routing.NewDirect(matching.Compile(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSim(t, sched, d, 1)
+	s.StartMeasuring()
+	f := s.InjectFlow(0, 3, 1)
+	for i := 0; i < 20 && !f.Done(); i++ {
+		s.Step()
+	}
+	if !f.Done() {
+		t.Fatal("flow did not complete")
+	}
+	if got := f.CompletionSlots(); got != 7 {
+		t.Fatalf("completion = %d slots, want 7 (2 wait + 5 prop)", got)
+	}
+	if f.Delivered() != 1 {
+		t.Fatalf("delivered = %d", f.Delivered())
+	}
+}
+
+func TestCellConservation(t *testing.T) {
+	sched := matching.RoundRobin(16)
+	v, _ := routing.NewVLB(matching.Compile(sched))
+	s := newSim(t, sched, v, 2)
+	s.StartMeasuring()
+	gen, err := workload.NewPoissonFlows(workload.Uniform(16), workload.FixedSize(4), 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := gen.Window(0, 2000)
+	if err := s.RunOpenLoop(flows, 2000); err != nil {
+		t.Fatal(err)
+	}
+	// Drain: no new arrivals, run until nothing is queued or in flight.
+	for i := 0; i < 100000 && !s.Drained(); i++ {
+		s.Step()
+	}
+	st := s.Stats()
+	if st.DeliveredCells != st.InjectedCells {
+		t.Fatalf("conservation violated: injected %d delivered %d backlog %d",
+			st.InjectedCells, st.DeliveredCells, s.Backlog())
+	}
+	if s.FlowsCompleted() != len(flows) {
+		t.Fatalf("%d of %d flows completed", s.FlowsCompleted(), len(flows))
+	}
+	if int64(s.FlowsCompleted()) != st.CompletedFlows {
+		t.Fatal("completed-flow counters disagree")
+	}
+}
+
+func TestSaturatedThroughputVLB(t *testing.T) {
+	// Saturated VLB over a 16-node round robin should deliver close to
+	// the fluid bound (n−1)/(2n−3) ≈ 0.517 cells/node/slot.
+	n := 16
+	sched := matching.RoundRobin(n)
+	v, _ := routing.NewVLB(matching.Compile(sched))
+	s := newSim(t, sched, v, 4)
+	st, err := s.RunSaturated(SaturationConfig{
+		TM:            workload.Uniform(n),
+		Size:          workload.FixedSize(4),
+		TargetBacklog: 128,
+		WarmupSlots:   3000,
+		MeasureSlots:  8000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n-1) / float64(2*n-3)
+	got := st.Throughput(n)
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("saturated VLB throughput = %f, want ~%f", got, want)
+	}
+	// Mean hops just under 2 (direct with prob 1/(n−1)).
+	if mh := st.MeanHops(); math.Abs(mh-(2-1.0/float64(n-1))) > 0.1 {
+		t.Fatalf("mean hops = %f", mh)
+	}
+}
+
+func TestSaturatedThroughputDirectUniform(t *testing.T) {
+	// Direct routing on uniform traffic keeps every circuit busy: r → 1.
+	n := 8
+	sched := matching.RoundRobin(n)
+	d, _ := routing.NewDirect(matching.Compile(sched))
+	s := newSim(t, sched, d, 5)
+	st, err := s.RunSaturated(SaturationConfig{
+		TM:            workload.Uniform(n),
+		Size:          workload.FixedSize(2),
+		TargetBacklog: 256,
+		WarmupSlots:   2000,
+		MeasureSlots:  6000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Throughput(n); got < 0.9 {
+		t.Fatalf("direct uniform throughput = %f, want ~1", got)
+	}
+}
+
+func TestSaturatedSORNMatchesFluid(t *testing.T) {
+	// The simulator's measured saturation throughput must track the
+	// fluid solver's θ for a SORN design point.
+	const n, nc, x = 64, 8, 0.5
+	built, err := schedule.BuildSORN(schedule.SORNConfig{N: n, Nc: nc, Q: model.SORNQ(x)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := routing.NewSORN(built)
+	tm, err := workload.Locality(built.Cliques, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := fluid.Solve(built.Schedule, router, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSim(t, built.Schedule, router, 6)
+	st, err := s.RunSaturated(SaturationConfig{
+		TM:            tm,
+		Size:          workload.FixedSize(8),
+		TargetBacklog: 256,
+		WarmupSlots:   5000,
+		MeasureSlots:  15000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := st.Throughput(n)
+	if math.Abs(got-fl.Theta)/fl.Theta > 0.12 {
+		t.Fatalf("simulated r = %f, fluid θ = %f", got, fl.Theta)
+	}
+}
+
+func TestFailLinkLosesCells(t *testing.T) {
+	sched := matching.RoundRobin(8)
+	d, _ := routing.NewDirect(matching.Compile(sched))
+	s := newSim(t, sched, d, 7)
+	s.StartMeasuring()
+	s.FailLink(0, 3)
+	f := s.InjectFlow(0, 3, 5)
+	for i := 0; i < 200; i++ {
+		s.Step()
+	}
+	if f.Done() || f.Delivered() != 0 {
+		t.Fatalf("flow over failed link delivered %d cells", f.Delivered())
+	}
+	// Other traffic unaffected.
+	g := s.InjectFlow(1, 4, 5)
+	for i := 0; i < 200 && !g.Done(); i++ {
+		s.Step()
+	}
+	if !g.Done() {
+		t.Fatal("unrelated flow blocked by failed link")
+	}
+}
+
+func TestFailNodeStopsForwarding(t *testing.T) {
+	sched := matching.RoundRobin(8)
+	v, _ := routing.NewVLB(matching.Compile(sched))
+	s := newSim(t, sched, v, 8)
+	s.StartMeasuring()
+	s.FailNode(2)
+	// Node 2 cannot source traffic.
+	f := s.InjectFlow(2, 5, 3)
+	for i := 0; i < 300; i++ {
+		s.Step()
+	}
+	if f.Done() {
+		t.Fatal("failed node completed a flow")
+	}
+}
+
+func TestLatencySampling(t *testing.T) {
+	sched := matching.RoundRobin(8)
+	d, _ := routing.NewDirect(matching.Compile(sched))
+	s, err := New(Config{Schedule: sched, Router: d, SlotNS: 100, PropNS: 500, Seed: 9, LatencySampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StartMeasuring()
+	for i := 0; i < 10; i++ {
+		s.InjectFlow(i%8, (i+3)%8, 2)
+	}
+	for i := 0; i < 500; i++ {
+		s.Step()
+	}
+	st := s.Stats()
+	if st.LatencySlots.Count() == 0 {
+		t.Fatal("no latency samples recorded")
+	}
+	// Every latency includes at least the propagation delay (5 slots).
+	if st.LatencySlots.Percentile(0) < 5 {
+		t.Fatalf("min latency %f below propagation", st.LatencySlots.Percentile(0))
+	}
+	if st.FCTSlots.Count() == 0 {
+		t.Fatal("no FCT samples recorded")
+	}
+}
+
+func TestReconfigureDrainsAndCompletes(t *testing.T) {
+	// Inject under one clique structure, reconfigure to another, and
+	// verify every flow still completes (stranded cells are re-routed).
+	a, err := schedule.BuildSORN(schedule.SORNConfig{N: 16, Nc: 2, Q: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := schedule.BuildSORN(schedule.SORNConfig{N: 16, Nc: 4, Q: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSim(t, a.Schedule, routing.NewSORN(a), 10)
+	s.StartMeasuring()
+	var flows []*FlowState
+	for i := 0; i < 16; i++ {
+		flows = append(flows, s.InjectFlow(i, (i+5)%16, 20))
+	}
+	for i := 0; i < 10; i++ {
+		s.Step()
+	}
+	if err := s.Reconfigure(b.Schedule, routing.NewSORN(b)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000 && !s.Drained(); i++ {
+		s.Step()
+	}
+	for i, f := range flows {
+		if !f.Done() {
+			t.Fatalf("flow %d stranded after reconfiguration (delivered %d/20)", i, f.Delivered())
+		}
+	}
+}
+
+func TestReconfigureRejectsMismatchedSchedule(t *testing.T) {
+	sched := matching.RoundRobin(8)
+	v, _ := routing.NewVLB(matching.Compile(sched))
+	s := newSim(t, sched, v, 11)
+	other := matching.RoundRobin(4)
+	ov, _ := routing.NewVLB(matching.Compile(other))
+	if err := s.Reconfigure(other, ov); err == nil {
+		t.Fatal("mismatched reconfiguration accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	sched := matching.RoundRobin(8)
+	v, _ := routing.NewVLB(matching.Compile(sched))
+	if _, err := New(Config{Router: v}); err == nil {
+		t.Error("missing schedule accepted")
+	}
+	if _, err := New(Config{Schedule: sched}); err == nil {
+		t.Error("missing router accepted")
+	}
+	if _, err := New(Config{Schedule: sched, Router: v, PropNS: -1}); err == nil {
+		t.Error("negative propagation accepted")
+	}
+}
+
+func TestRunSaturatedValidation(t *testing.T) {
+	sched := matching.RoundRobin(8)
+	v, _ := routing.NewVLB(matching.Compile(sched))
+	s := newSim(t, sched, v, 12)
+	if _, err := s.RunSaturated(SaturationConfig{TM: workload.Uniform(4), Size: workload.FixedSize(1), TargetBacklog: 1, MeasureSlots: 1}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := s.RunSaturated(SaturationConfig{TM: workload.Uniform(8), Size: workload.FixedSize(1), TargetBacklog: 0, MeasureSlots: 1}); err == nil {
+		t.Error("zero backlog accepted")
+	}
+}
+
+func TestOpenLoopLowLoadLatency(t *testing.T) {
+	// At 10% load the network is uncongested: mean cell latency should be
+	// within a small factor of the intrinsic bound (schedule wait + prop).
+	n := 16
+	sched := matching.RoundRobin(n)
+	v, _ := routing.NewVLB(matching.Compile(sched))
+	s, err := New(Config{Schedule: sched, Router: v, SlotNS: 100, PropNS: 500, Seed: 13, LatencySampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StartMeasuring()
+	gen, _ := workload.NewPoissonFlows(workload.Uniform(n), workload.FixedSize(1), 0.1, 14)
+	flows := gen.Window(0, 5000)
+	if err := s.RunOpenLoop(flows, 6000); err != nil {
+		t.Fatal(err)
+	}
+	mean := s.Stats().LatencySlots.Mean()
+	// Intrinsic: ~(n−1)/2 expected wait per directed hop ×2 + 2×5 prop.
+	intrinsic := float64(n-1) + 10
+	if mean > 2.5*intrinsic || mean < 5 {
+		t.Fatalf("low-load mean latency %f slots vs intrinsic ~%f", mean, intrinsic)
+	}
+}
+
+func BenchmarkStepSaturated(b *testing.B) {
+	built, err := schedule.BuildSORN(schedule.SORNConfig{N: 128, Nc: 8, Q: 4.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	router := routing.NewSORN(built)
+	s, err := New(Config{Schedule: built.Schedule, Router: router, SlotNS: 100, PropNS: 500, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, _ := workload.Locality(built.Cliques, 0.56)
+	// Prime the backlog.
+	if _, err := s.RunSaturated(SaturationConfig{TM: tm, Size: workload.FixedSize(8), TargetBacklog: 64, WarmupSlots: 0, MeasureSlots: 100}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func TestPlanesScaleBandwidth(t *testing.T) {
+	// With P planes, a saturated node delivers P cells/slot of raw
+	// bandwidth; Throughput() normalizes back to a fraction, so the
+	// measured r should match the single-plane value.
+	n := 16
+	sched := matching.RoundRobin(n)
+	for _, planes := range []int{1, 4} {
+		d, _ := routing.NewDirect(matching.Compile(sched))
+		s, err := New(Config{Schedule: sched, Router: d, SlotNS: 100, PropNS: 500, Seed: 4, Planes: planes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.RunSaturated(SaturationConfig{
+			TM: workload.Uniform(n), Size: workload.FixedSize(2),
+			TargetBacklog: 512, WarmupSlots: 2000, MeasureSlots: 4000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := st.Throughput(n); got < 0.9 {
+			t.Fatalf("planes=%d throughput %f, want ~1", planes, got)
+		}
+		// Raw deliveries must scale with planes.
+		raw := float64(st.DeliveredCells) / float64(st.MeasuredSlots) / float64(n)
+		if raw < 0.9*float64(planes) {
+			t.Fatalf("planes=%d raw rate %f, want ~%d", planes, raw, planes)
+		}
+	}
+}
+
+func TestPlanesReduceLatency(t *testing.T) {
+	// Phase-staggered planes divide the wait for a given circuit by the
+	// plane count — the /uplinks term of the paper's latency model.
+	n := 64
+	sched := matching.RoundRobin(n)
+	waits := map[int]float64{}
+	for _, planes := range []int{1, 8} {
+		d, _ := routing.NewDirect(matching.Compile(sched))
+		s, err := New(Config{
+			Schedule: sched, Router: d, SlotNS: 100, PropNS: 500,
+			Seed: 5, Planes: planes, LatencySampleEvery: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.StartMeasuring()
+		gen, _ := workload.NewPoissonFlows(workload.Uniform(n), workload.FixedSize(1), 0.02, 6)
+		flows := gen.Window(0, 20000)
+		if err := s.RunOpenLoop(flows, 21000); err != nil {
+			t.Fatal(err)
+		}
+		waits[planes] = s.Stats().LatencySlots.Mean()
+	}
+	// Mean latency = schedule wait (~(n-1)/2 for 1 plane) + 5 prop slots.
+	// 8 planes should cut the schedule-wait component by ~8.
+	want1 := float64(n-1)/2 + 5
+	if waits[1] < 0.7*want1 || waits[1] > 1.5*want1 {
+		t.Fatalf("1-plane mean latency %f, want ~%f", waits[1], want1)
+	}
+	if waits[8] > waits[1]/3 {
+		t.Fatalf("8 planes did not cut latency: %f vs %f", waits[8], waits[1])
+	}
+}
+
+func TestPlanesInvalid(t *testing.T) {
+	sched := matching.RoundRobin(8)
+	v, _ := routing.NewVLB(matching.Compile(sched))
+	if _, err := New(Config{Schedule: sched, Router: v, Planes: -1}); err == nil {
+		t.Fatal("negative planes accepted")
+	}
+}
+
+func TestNoDuplicationOrLossProperty(t *testing.T) {
+	// Random small workloads over random SORN configs: after draining,
+	// every flow has delivered exactly its size — no duplication, no
+	// silent loss — and the aggregate counters agree.
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		nc := 2 + r.Intn(3)
+		k := 2 + r.Intn(4)
+		n := nc * k
+		built, err := schedule.BuildSORN(schedule.SORNConfig{N: n, Nc: nc, Q: 0.5 + 4*r.Float64()})
+		if err != nil {
+			return false
+		}
+		s, err := New(Config{
+			Schedule: built.Schedule, Router: routing.NewSORN(built),
+			SlotNS: 100, PropNS: int64(r.Intn(900)), Seed: seed,
+			Planes: 1 + r.Intn(3),
+		})
+		if err != nil {
+			return false
+		}
+		s.StartMeasuring()
+		var flows []*FlowState
+		nflows := 1 + r.Intn(20)
+		for i := 0; i < nflows; i++ {
+			src := r.Intn(n)
+			dst := r.Intn(n)
+			if dst == src {
+				dst = (src + 1) % n
+			}
+			flows = append(flows, s.InjectFlow(src, dst, 1+r.Intn(30)))
+			if r.Intn(3) == 0 {
+				s.Step()
+			}
+		}
+		for i := 0; i < 200000 && !s.Drained(); i++ {
+			s.Step()
+		}
+		if !s.Drained() {
+			return false
+		}
+		var total int64
+		for _, f := range flows {
+			if !f.Done() || f.Delivered() != f.size || f.Lost() != 0 {
+				return false
+			}
+			total += int64(f.size)
+		}
+		return s.Stats().DeliveredCells == total && s.Stats().InjectedCells == total
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectFlowDeliversInFIFOOrder(t *testing.T) {
+	// A single-path flow (direct routing) must complete exactly when its
+	// last cell's circuit occurs: size cells each need one occurrence of
+	// the same circuit, one per period.
+	sched := matching.RoundRobin(8)
+	d, _ := routing.NewDirect(matching.Compile(sched))
+	s := newSim(t, sched, d, 20)
+	s.StartMeasuring()
+	const size = 5
+	f := s.InjectFlow(0, 3, size)
+	for i := 0; i < 500 && !f.Done(); i++ {
+		s.Step()
+	}
+	// Circuit 0->3 opens at slot 2, then every 7 slots; the 5th cell
+	// transmits at slot 2+4*7=30 and lands 5 slots later.
+	if got := f.CompletionSlots(); got != 35 {
+		t.Fatalf("FIFO drain completion = %d, want 35", got)
+	}
+}
+
+func TestOperaBulkShapeVsSORN(t *testing.T) {
+	// Table 1's Opera-bulk row, in simulation shape: VLB over a slowly
+	// rotating schedule (Opera-like epochs) completes a bulk flow orders
+	// of magnitude slower than SORN at the same slot length, because the
+	// direct circuit to the destination recurs only once per rotation.
+	if testing.Short() {
+		t.Skip("long drain")
+	}
+	opera, err := schedule.BuildOperaLike(32, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := routing.NewVLB(matching.Compile(opera.Schedule))
+	if err != nil {
+		t.Fatal(err)
+	}
+	operaSim := newSim(t, opera.Schedule, ov, 22)
+	operaSim.StartMeasuring()
+	of := operaSim.InjectFlow(0, 17, 20)
+	for i := 0; i < 500000 && !of.Done(); i++ {
+		operaSim.Step()
+	}
+	if !of.Done() {
+		t.Fatal("opera bulk flow never completed")
+	}
+
+	sorn, err := schedule.BuildSORN(schedule.SORNConfig{N: 32, Nc: 4, Q: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sornSim := newSim(t, sorn.Schedule, routing.NewSORN(sorn), 22)
+	sornSim.StartMeasuring()
+	sf := sornSim.InjectFlow(0, 17, 20)
+	for i := 0; i < 500000 && !sf.Done(); i++ {
+		sornSim.Step()
+	}
+	if !sf.Done() {
+		t.Fatal("sorn flow never completed")
+	}
+	if of.CompletionSlots() < 5*sf.CompletionSlots() {
+		t.Fatalf("opera bulk FCT %d not far above SORN %d",
+			of.CompletionSlots(), sf.CompletionSlots())
+	}
+}
+
+func TestQueueLimitDropsUnderOverload(t *testing.T) {
+	// Tiny queues + many flows aimed at one destination force drops, and
+	// accounting must still balance: delivered + dropped == injected.
+	sched := matching.RoundRobin(8)
+	d, _ := routing.NewDirect(matching.Compile(sched))
+	s, err := New(Config{
+		Schedule: sched, Router: d, SlotNS: 100, PropNS: 500,
+		Seed: 23, QueueLimit: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StartMeasuring()
+	var flows []*FlowState
+	for i := 0; i < 7; i++ {
+		flows = append(flows, s.InjectFlow(i, 7, 50))
+	}
+	for i := 0; i < 20000 && !s.Drained(); i++ {
+		s.Step()
+	}
+	st := s.Stats()
+	if st.DroppedCells == 0 {
+		t.Fatal("no drops despite 4-cell queues and 50-cell bursts")
+	}
+	var delivered, lost int64
+	for _, f := range flows {
+		delivered += int64(f.Delivered())
+		lost += int64(f.Lost())
+	}
+	if delivered+lost != st.InjectedCells {
+		t.Fatalf("accounting broken: delivered %d + lost %d != injected %d",
+			delivered, lost, st.InjectedCells)
+	}
+	if st.DroppedCells != lost {
+		t.Fatalf("drop counters disagree: %d vs %d", st.DroppedCells, lost)
+	}
+}
+
+func TestQueueLimitZeroIsUnbounded(t *testing.T) {
+	sched := matching.RoundRobin(8)
+	d, _ := routing.NewDirect(matching.Compile(sched))
+	s, err := New(Config{Schedule: sched, Router: d, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StartMeasuring()
+	f := s.InjectFlow(0, 7, 500)
+	for i := 0; i < 10000 && !f.Done(); i++ {
+		s.Step()
+	}
+	if !f.Done() || f.Lost() != 0 || s.Stats().DroppedCells != 0 {
+		t.Fatal("unbounded queues dropped cells")
+	}
+}
+
+func TestReconfigureGracefulRebalanceIsDrainFree(t *testing.T) {
+	// A q rebalance keeps every circuit family (fixed neighbor
+	// superset), so graceful reconfiguration completes with zero drain
+	// slots even under load.
+	a, _ := schedule.BuildSORN(schedule.SORNConfig{N: 16, Nc: 2, Q: 1})
+	b, _ := schedule.BuildSORN(schedule.SORNConfig{N: 16, Nc: 2, Q: 7})
+	s := newSim(t, a.Schedule, routing.NewSORN(a), 25)
+	for i := 0; i < 16; i++ {
+		s.InjectFlow(i, (i+3)%16, 10)
+	}
+	for i := 0; i < 5; i++ {
+		s.Step()
+	}
+	drain, rerouted, err := s.ReconfigureGraceful(b.Schedule, routing.NewSORN(b), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drain != 0 || rerouted != 0 {
+		t.Fatalf("q rebalance drained %d slots, rerouted %d cells", drain, rerouted)
+	}
+}
+
+func TestReconfigureGracefulReclusterDrains(t *testing.T) {
+	// Changing the clique structure removes circuits; the drain loop
+	// must run for a while, and all flows still complete afterwards.
+	a, _ := schedule.BuildSORN(schedule.SORNConfig{N: 16, Nc: 2, Q: 2})
+	b, _ := schedule.BuildSORN(schedule.SORNConfig{N: 16, Nc: 4, Q: 2})
+	s := newSim(t, a.Schedule, routing.NewSORN(a), 26)
+	var flows []*FlowState
+	for i := 0; i < 16; i++ {
+		flows = append(flows, s.InjectFlow(i, (i+5)%16, 20))
+	}
+	for i := 0; i < 5; i++ {
+		s.Step()
+	}
+	drain, _, err := s.ReconfigureGraceful(b.Schedule, routing.NewSORN(b), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drain == 0 {
+		t.Fatal("re-clustering reported zero drain slots")
+	}
+	for i := 0; i < 200000 && !s.Drained(); i++ {
+		s.Step()
+	}
+	for i, f := range flows {
+		if !f.Done() {
+			t.Fatalf("flow %d stranded after graceful reconfiguration", i)
+		}
+	}
+}
+
+func TestReconfigureGracefulDeadlineForcesReroute(t *testing.T) {
+	// With a zero drain window, stranded cells are force-re-routed.
+	a, _ := schedule.BuildSORN(schedule.SORNConfig{N: 16, Nc: 2, Q: 2})
+	b, _ := schedule.BuildSORN(schedule.SORNConfig{N: 16, Nc: 4, Q: 2})
+	s := newSim(t, a.Schedule, routing.NewSORN(a), 27)
+	for i := 0; i < 16; i++ {
+		s.InjectFlow(i, (i+5)%16, 20)
+	}
+	_, rerouted, err := s.ReconfigureGraceful(b.Schedule, routing.NewSORN(b), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerouted == 0 {
+		t.Fatal("expected forced re-routes with a zero drain window")
+	}
+}
+
+func TestReconfigureGracefulValidation(t *testing.T) {
+	sched := matching.RoundRobin(8)
+	v, _ := routing.NewVLB(matching.Compile(sched))
+	s := newSim(t, sched, v, 28)
+	other := matching.RoundRobin(4)
+	ov, _ := routing.NewVLB(matching.Compile(other))
+	if _, _, err := s.ReconfigureGraceful(other, ov, 10); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestLatencyByHopsSeparatesClasses(t *testing.T) {
+	// In a SORN under mixed traffic, 3-hop (inter-clique) cells must be
+	// slower than 1-2 hop (intra-clique) cells, visible in one run.
+	built, err := schedule.BuildSORN(schedule.SORNConfig{N: 32, Nc: 4, Q: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Schedule: built.Schedule, Router: routing.NewSORN(built),
+		SlotNS: 100, PropNS: 500, Seed: 30, LatencySampleEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StartMeasuring()
+	tm, _ := workload.Locality(built.Cliques, 0.5)
+	gen, _ := workload.NewPoissonFlows(tm, workload.FixedSize(2), 0.05, 31)
+	flows := gen.Window(0, 15000)
+	if err := s.RunOpenLoop(flows, 16000); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	intra2 := &st.LatencyByHops[2]
+	inter3 := &st.LatencyByHops[3]
+	if intra2.Count() == 0 || inter3.Count() == 0 {
+		t.Fatalf("hop classes unpopulated: 2-hop %d, 3-hop %d", intra2.Count(), inter3.Count())
+	}
+	if inter3.Mean() <= intra2.Mean() {
+		t.Fatalf("3-hop mean %f not above 2-hop mean %f", inter3.Mean(), intra2.Mean())
+	}
+	// Class samples partition the overall samples.
+	var total int64
+	for i := range st.LatencyByHops {
+		total += int64(st.LatencyByHops[i].Count())
+	}
+	if total != int64(st.LatencySlots.Count()) {
+		t.Fatalf("class samples %d != overall %d", total, st.LatencySlots.Count())
+	}
+}

@@ -1,0 +1,245 @@
+// Package phys models the physical layer the paper's §5 "Expressivity"
+// discussion reasons about: nodes with a fixed number of uplink ports,
+// wired into wavelength-selective gratings (AWGRs) of a fixed port
+// count. A circuit u→v is physically realizable only if some port of u
+// and some port of v attach to the same grating; a schedule is
+// deployable only if every circuit it uses is realizable.
+//
+// The paper's example deployment — 4096 nodes, 16 ports per node,
+// 256-port gratings — claims "clique sizes ranging from 1 (flat
+// network) 16, 32, 64 up to 2048". This package constructs the wirings
+// behind that claim and reports exactly which clique sizes fit.
+package phys
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+)
+
+// Wiring records which grating each used port of each node attaches to.
+type Wiring struct {
+	N            int
+	Ports        int // ports available per node
+	GratingPorts int
+	CliqueSize   int
+
+	attach   [][]int        // attach[node] = grating ids, one per used port
+	members  []map[int]bool // members[grating] = set of attached nodes
+	portsUse int            // ports used per node
+}
+
+// PortsUsed returns how many of each node's ports the wiring consumes.
+func (w *Wiring) PortsUsed() int { return w.portsUse }
+
+// Gratings returns the number of gratings the wiring uses.
+func (w *Wiring) Gratings() int { return len(w.members) }
+
+// SharedGrating reports whether u and v attach to a common grating —
+// i.e. whether a direct circuit u→v is physically realizable.
+func (w *Wiring) SharedGrating(u, v int) bool {
+	for _, g := range w.attach[u] {
+		if w.members[g][v] {
+			return true
+		}
+	}
+	return false
+}
+
+// Supports verifies that every circuit a schedule uses is realizable on
+// this wiring, returning the first violation.
+func (w *Wiring) Supports(s *matching.Schedule) error {
+	if s.N != w.N {
+		return fmt.Errorf("phys: schedule over %d nodes, wiring over %d", s.N, w.N)
+	}
+	for t, m := range s.Slots {
+		for u, v := range m {
+			if !w.SharedGrating(u, v) {
+				return fmt.Errorf("phys: slot %d needs circuit %d->%d, but no grating joins them", t, u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// CliqueWiring wires n nodes (contiguous cliques of size k) so that a
+// SORN schedule over those cliques is realizable:
+//
+//   - intra-clique: every pair within a clique shares a grating. For
+//     k ≤ G one port per node suffices (gratings pack whole cliques);
+//     for k > G the clique is split into segments of G/2 nodes and one
+//     port is spent per segment pairing (ceil(k/(G/2))−1 ports).
+//   - inter-clique: SORN's inter circuits connect same-local-index
+//     peers across cliques (rings of Nc nodes); rings are packed into
+//     gratings the same way.
+//
+// It returns an error when the port budget cannot cover the structure —
+// the §5 feasibility boundary.
+func CliqueWiring(n, ports, gratingPorts, k int) (*Wiring, error) {
+	if n < 2 || k < 1 || n%k != 0 {
+		return nil, fmt.Errorf("phys: cannot split %d nodes into cliques of %d", n, k)
+	}
+	if gratingPorts < 2 || gratingPorts%2 != 0 {
+		return nil, fmt.Errorf("phys: grating ports must be even and >= 2, got %d", gratingPorts)
+	}
+	nc := n / k
+	w := &Wiring{N: n, Ports: ports, GratingPorts: gratingPorts, CliqueSize: k}
+	w.attach = make([][]int, n)
+
+	nextGrating := 0
+	newGrating := func() int {
+		w.members = append(w.members, make(map[int]bool))
+		id := nextGrating
+		nextGrating++
+		return id
+	}
+	attachGroup := func(nodes []int) error {
+		if len(nodes) > gratingPorts {
+			return fmt.Errorf("phys: group of %d exceeds %d-port grating", len(nodes), gratingPorts)
+		}
+		g := newGrating()
+		for _, u := range nodes {
+			w.attach[u] = append(w.attach[u], g)
+			w.members[g][u] = true
+		}
+		return nil
+	}
+	// coverPairs wires a set of nodes so every pair shares some grating,
+	// spending ports on each node; groups is a list of node sets that
+	// each must be pairwise covered.
+	coverPairs := func(group []int) error {
+		if len(group) <= 1 {
+			return nil
+		}
+		if len(group) <= gratingPorts {
+			return attachGroup(group)
+		}
+		seg := gratingPorts / 2
+		if len(group)%seg != 0 {
+			return fmt.Errorf("phys: group of %d not divisible into %d-node segments", len(group), seg)
+		}
+		t := len(group) / seg
+		for i := 0; i < t; i++ {
+			for j := i + 1; j < t; j++ {
+				pair := append(append([]int{}, group[i*seg:(i+1)*seg]...), group[j*seg:(j+1)*seg]...)
+				if err := attachGroup(pair); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	// Intra-clique coverage. Pack multiple whole cliques per grating
+	// when they fit.
+	if k > 1 {
+		if k <= gratingPorts {
+			perGrating := gratingPorts / k * k
+			for base := 0; base < n; base += perGrating {
+				end := base + perGrating
+				if end > n {
+					end = n
+				}
+				group := make([]int, 0, end-base)
+				for u := base; u < end; u++ {
+					group = append(group, u)
+				}
+				if err := attachGroup(group); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			for c := 0; c < nc; c++ {
+				group := make([]int, k)
+				for i := range group {
+					group[i] = c*k + i
+				}
+				if err := coverPairs(group); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Inter-clique coverage: rings of same-local-index nodes.
+	if nc > 1 {
+		if nc <= gratingPorts {
+			perGrating := gratingPorts / nc
+			for base := 0; base < k; base += perGrating {
+				end := base + perGrating
+				if end > k {
+					end = k
+				}
+				var group []int
+				for l := base; l < end; l++ {
+					for c := 0; c < nc; c++ {
+						group = append(group, c*k+l)
+					}
+				}
+				if err := attachGroup(group); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			for l := 0; l < k; l++ {
+				ring := make([]int, nc)
+				for c := 0; c < nc; c++ {
+					ring[c] = c*k + l
+				}
+				if err := coverPairs(ring); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	for u := range w.attach {
+		if len(w.attach[u]) > w.portsUse {
+			w.portsUse = len(w.attach[u])
+		}
+	}
+	if w.portsUse > ports {
+		return nil, fmt.Errorf("phys: clique size %d needs %d ports per node, only %d available",
+			k, w.portsUse, ports)
+	}
+	return w, nil
+}
+
+// PortsForCliqueSize returns the per-node port cost of a clique size
+// under CliqueWiring's construction without building the wiring.
+func PortsForCliqueSize(n, gratingPorts, k int) (int, error) {
+	if n < 2 || k < 1 || n%k != 0 {
+		return 0, fmt.Errorf("phys: cannot split %d nodes into cliques of %d", n, k)
+	}
+	nc := n / k
+	cost := func(groupSize int) int {
+		switch {
+		case groupSize <= 1:
+			return 0
+		case groupSize <= gratingPorts:
+			return 1
+		default:
+			seg := gratingPorts / 2
+			t := (groupSize + seg - 1) / seg
+			return t - 1
+		}
+	}
+	return cost(k) + cost(nc), nil
+}
+
+// SupportedCliqueSizes reports which power-of-two clique sizes (plus 1
+// and n) fit the port budget — the quantitative version of the paper's
+// §5 claim about the 4096-node / 16-port / 256-grating deployment.
+func SupportedCliqueSizes(n, ports, gratingPorts int) []int {
+	var out []int
+	for k := 1; k <= n; k *= 2 {
+		if n%k != 0 {
+			continue
+		}
+		need, err := PortsForCliqueSize(n, gratingPorts, k)
+		if err == nil && need <= ports {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package phys
+
+import (
+	"testing"
+
+	"repro/internal/matching"
+	"repro/internal/schedule"
+)
+
+func TestCliqueWiringSmallSupportsSORN(t *testing.T) {
+	// 64 nodes, cliques of 8, 16-port gratings, 6 ports per node.
+	w, err := CliqueWiring(64, 6, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.PortsUsed() > 6 {
+		t.Fatalf("ports used %d", w.PortsUsed())
+	}
+	s, err := schedule.BuildSORN(schedule.SORNConfig{N: 64, Nc: 8, Q: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Supports(s.Schedule); err != nil {
+		t.Fatalf("wiring does not support SORN schedule: %v", err)
+	}
+}
+
+func TestCliqueWiringLargeCliquesSegmented(t *testing.T) {
+	// Cliques of 32 with 16-port gratings force segment pairing:
+	// seg=8, t=4 segments -> 3 intra ports; 2 cliques -> 1 ring port.
+	w, err := CliqueWiring(64, 6, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.PortsUsed() != 4 {
+		t.Fatalf("ports used = %d, want 4 (3 intra + 1 inter)", w.PortsUsed())
+	}
+	// Every intra pair of clique 0 must share a grating.
+	for u := 0; u < 32; u++ {
+		for v := 0; v < 32; v++ {
+			if u != v && !w.SharedGrating(u, v) {
+				t.Fatalf("intra pair %d,%d not covered", u, v)
+			}
+		}
+	}
+	// Same-local inter pairs covered.
+	for l := 0; l < 32; l++ {
+		if !w.SharedGrating(l, 32+l) {
+			t.Fatalf("ring pair %d,%d not covered", l, 32+l)
+		}
+	}
+	s, err := schedule.BuildSORN(schedule.SORNConfig{N: 64, Nc: 2, Q: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Supports(s.Schedule); err != nil {
+		t.Fatalf("wiring does not support SORN schedule: %v", err)
+	}
+}
+
+func TestCliqueWiringPortBudgetEnforced(t *testing.T) {
+	// Cliques of 32 with 16-port gratings need 4 ports; give only 3.
+	if _, err := CliqueWiring(64, 3, 16, 32); err == nil {
+		t.Fatal("over-budget wiring accepted")
+	}
+}
+
+func TestCliqueWiringErrors(t *testing.T) {
+	if _, err := CliqueWiring(10, 4, 16, 3); err == nil {
+		t.Error("indivisible cliques accepted")
+	}
+	if _, err := CliqueWiring(8, 4, 3, 2); err == nil {
+		t.Error("odd grating port count accepted")
+	}
+	if _, err := CliqueWiring(1, 4, 16, 1); err == nil {
+		t.Error("single node accepted")
+	}
+}
+
+func TestSupportsRejectsUncoveredCircuit(t *testing.T) {
+	// A flat round robin needs all-pairs coverage; a clique wiring for
+	// cliques of 8 does not provide it.
+	w, err := CliqueWiring(64, 6, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Supports(matching.RoundRobin(64)); err == nil {
+		t.Fatal("clique wiring claimed to support a flat round robin")
+	}
+	if err := w.Supports(matching.RoundRobin(32)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestPaperDeploymentCliqueSizes(t *testing.T) {
+	// The §5 deployment: 4096 nodes, 16 ports, 256-port gratings. The
+	// paper claims clique sizes "16, 32, 64 up to 2048"; our segment-
+	// pairing construction confirms 16..2048 (and extends down to 2),
+	// and shows the boundary: 2048 consumes exactly the 16-port budget
+	// while a flat all-pairs fabric (k=1 rings of 4096, or one clique of
+	// 4096) would need 31 ports.
+	const n, ports, g = 4096, 16, 256
+	sizes := SupportedCliqueSizes(n, ports, g)
+	want := map[int]bool{}
+	for k := 2; k <= 2048; k *= 2 {
+		want[k] = true
+	}
+	for _, k := range sizes {
+		if !want[k] {
+			t.Errorf("unexpected supported clique size %d", k)
+		}
+		delete(want, k)
+	}
+	for k := range want {
+		t.Errorf("clique size %d missing from supported set", k)
+	}
+
+	// Boundary checks.
+	if need, _ := PortsForCliqueSize(n, g, 2048); need != 16 {
+		t.Errorf("k=2048 needs %d ports, want exactly 16", need)
+	}
+	if need, _ := PortsForCliqueSize(n, g, 4096); need != 31 {
+		t.Errorf("k=4096 needs %d ports, want 31", need)
+	}
+	if need, _ := PortsForCliqueSize(n, g, 1); need != 31 {
+		t.Errorf("k=1 (flat rings) needs %d ports, want 31", need)
+	}
+}
+
+func TestPortsForCliqueSizeMatchesBuiltWiring(t *testing.T) {
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		predicted, err := PortsForCliqueSize(64, 16, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := CliqueWiring(64, 16, 16, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if w.PortsUsed() != predicted {
+			t.Errorf("k=%d: predicted %d ports, wiring used %d", k, predicted, w.PortsUsed())
+		}
+	}
+}
+
+func TestGratingCounts(t *testing.T) {
+	w, err := CliqueWiring(64, 6, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intra: 64 nodes / 16-port gratings = 4 gratings; inter: rings of
+	// 8, two rings per grating, 8 rings -> 4 gratings.
+	if w.Gratings() != 8 {
+		t.Fatalf("gratings = %d, want 8", w.Gratings())
+	}
+}

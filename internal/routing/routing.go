@@ -1,0 +1,300 @@
+// Package routing implements the oblivious and semi-oblivious routing
+// schemes of the paper and its baselines:
+//
+//   - Direct single-hop routing (for fully connected schedules)
+//   - 2-hop Valiant load balancing (VLB), the ORN workhorse [31]
+//   - 2h-hop h-dimensional optimal ORN routing [4]
+//   - SORN routing (§4): 2-hop VLB inside cliques, 3 hops across cliques
+//     (load-balancing intra hop → inter-clique circuit → final intra hop)
+//
+// Every Router exposes the hop sequence two ways: Route picks one concrete
+// path for a packet (used by the slotted simulator; the load-balancing hop
+// uses the next available circuit, so it adds no intrinsic wait), and
+// Paths enumerates the time-averaged path distribution (used by the fluid
+// throughput solver).
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+	"repro/internal/rng"
+	"repro/internal/schedule"
+)
+
+// Route is a hop sequence from source to destination, inclusive.
+// Consecutive nodes are always distinct.
+type Route []int
+
+// Hops returns the number of links traversed.
+func (r Route) Hops() int { return len(r) - 1 }
+
+// Router chooses hop sequences at injection time (source routing).
+type Router interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// MaxHops is the worst-case path length in links.
+	MaxHops() int
+	// Route returns the hop sequence for one packet src→dst. slot is the
+	// absolute time slot at injection, used by load-balancing hops that
+	// take the "first available" circuit; r supplies randomness.
+	Route(src, dst, slot int, r *rng.RNG) Route
+	// Paths calls fn for every path of the time-averaged path
+	// distribution with its probability (summing to 1 per src→dst pair).
+	Paths(src, dst int, fn func(path Route, prob float64))
+}
+
+// appendHop extends a path, skipping no-op hops (next == last node).
+func appendHop(p Route, next int) Route {
+	if len(p) > 0 && p[len(p)-1] == next {
+		return p
+	}
+	return append(p, next)
+}
+
+// Direct routes every packet on its single direct circuit. It requires a
+// schedule with full coverage and is the latency-optimal, throughput-1
+// scheme for perfectly uniform traffic (paper §2: "If traffic was
+// uniformly all-to-all, single-hop paths best use bandwidth").
+type Direct struct {
+	compiled *matching.Compiled
+}
+
+// NewDirect builds a direct router over a compiled schedule, verifying
+// full coverage.
+func NewDirect(c *matching.Compiled) (*Direct, error) {
+	s := c.Schedule()
+	if !s.FullCoverage() {
+		return nil, fmt.Errorf("routing: direct routing requires full coverage")
+	}
+	return &Direct{compiled: c}, nil
+}
+
+// Name implements Router.
+func (d *Direct) Name() string { return "direct" }
+
+// MaxHops implements Router.
+func (d *Direct) MaxHops() int { return 1 }
+
+// Route implements Router.
+func (d *Direct) Route(src, dst, slot int, r *rng.RNG) Route {
+	return Route{src, dst}
+}
+
+// Paths implements Router.
+func (d *Direct) Paths(src, dst int, fn func(Route, float64)) {
+	fn(Route{src, dst}, 1)
+}
+
+// VLB is 2-hop Valiant load balancing over a fully connected schedule:
+// the first hop takes the next available circuit (uniform over nodes in
+// time average), the second hop is the direct circuit to the destination.
+// Worst-case throughput 50% for arbitrary traffic.
+type VLB struct {
+	n        int
+	compiled *matching.Compiled
+}
+
+// NewVLB builds a VLB router over a compiled full-coverage schedule.
+func NewVLB(c *matching.Compiled) (*VLB, error) {
+	s := c.Schedule()
+	if !s.FullCoverage() {
+		return nil, fmt.Errorf("routing: VLB requires full coverage")
+	}
+	return &VLB{n: s.N, compiled: c}, nil
+}
+
+// Name implements Router.
+func (v *VLB) Name() string { return "vlb" }
+
+// MaxHops implements Router.
+func (v *VLB) MaxHops() int { return 2 }
+
+// Route implements Router. The load-balancing hop uses the circuit active
+// at the injection slot (zero intrinsic wait).
+func (v *VLB) Route(src, dst, slot int, r *rng.RNG) Route {
+	w := v.compiled.Schedule().DestAt(src, slot)
+	p := Route{src}
+	p = appendHop(p, w)
+	return appendHop(p, dst)
+}
+
+// Paths implements Router: the intermediate is uniform over the n−1
+// destinations the round robin visits (including dst itself, which yields
+// the direct path).
+func (v *VLB) Paths(src, dst int, fn func(Route, float64)) {
+	prob := 1 / float64(v.n-1)
+	for w := 0; w < v.n; w++ {
+		if w == src {
+			continue
+		}
+		p := Route{src}
+		p = appendHop(p, w)
+		p = appendHop(p, dst)
+		fn(p, prob)
+	}
+}
+
+// ORN is the 2h-hop routing of h-dimensional optimal ORNs: spray to a
+// uniformly random intermediate by fixing one digit per hop (in the
+// schedule's dimension order), then correct each digit toward the
+// destination.
+type ORN struct {
+	orn *schedule.OptimalORN
+}
+
+// NewORN builds the router for an h-dimensional ORN schedule.
+func NewORN(o *schedule.OptimalORN) *ORN { return &ORN{orn: o} }
+
+// Name implements Router.
+func (o *ORN) Name() string { return fmt.Sprintf("orn-%dd", o.orn.H) }
+
+// MaxHops implements Router.
+func (o *ORN) MaxHops() int { return 2 * o.orn.H }
+
+// digitPath walks from cur to target one digit at a time (dimension order
+// 0..h−1), appending each distinct intermediate node.
+func (o *ORN) digitPath(p Route, target int) Route {
+	cur := p[len(p)-1]
+	a, h := o.orn.Base, o.orn.H
+	stride := 1
+	for d := 0; d < h; d++ {
+		curDigit := (cur / stride) % a
+		tgtDigit := (target / stride) % a
+		cur = cur + (tgtDigit-curDigit)*stride
+		p = appendHop(p, cur)
+		stride *= a
+	}
+	return p
+}
+
+// Route implements Router.
+func (o *ORN) Route(src, dst, slot int, r *rng.RNG) Route {
+	w := r.Intn(o.orn.N)
+	p := Route{src}
+	p = o.digitPath(p, w)
+	return o.digitPath(p, dst)
+}
+
+// Paths implements Router: intermediates are uniform over all N nodes.
+func (o *ORN) Paths(src, dst int, fn func(Route, float64)) {
+	prob := 1 / float64(o.orn.N)
+	for w := 0; w < o.orn.N; w++ {
+		p := Route{src}
+		p = o.digitPath(p, w)
+		p = o.digitPath(p, dst)
+		fn(p, prob)
+	}
+}
+
+// SORN implements the paper's semi-oblivious routing (§4, "Routing").
+// Intra-clique traffic: 2-hop VLB within the clique. Inter-clique
+// traffic: load-balancing intra hop to a clique peer w, then w's
+// inter-clique circuit into the destination clique (landing on w's
+// same-local-index peer), then the final intra-clique hop.
+type SORN struct {
+	s        *schedule.SORN
+	compiled *matching.Compiled
+}
+
+// NewSORN builds the router for a built SORN schedule.
+func NewSORN(s *schedule.SORN) *SORN {
+	return &SORN{s: s, compiled: matching.Compile(s.Schedule)}
+}
+
+// Name implements Router.
+func (s *SORN) Name() string { return "sorn" }
+
+// MaxHops implements Router.
+func (s *SORN) MaxHops() int {
+	if s.s.Cliques.NumCliques() == 1 {
+		return 2
+	}
+	return 3
+}
+
+// landing returns the node w's inter-clique circuit reaches in the target
+// clique: the member with w's local index (fixed landing, see
+// schedule.BuildSORN).
+func (s *SORN) landing(w, targetClique int) int {
+	cl := s.s.Cliques
+	mem := cl.Members(targetClique)
+	return mem[cl.LocalIndex(w)%len(mem)]
+}
+
+// Route implements Router. The first (load-balancing) hop takes the next
+// available intra-clique circuit at the injection slot; per the paper it
+// adds effectively zero intrinsic latency.
+func (s *SORN) Route(src, dst, slot int, r *rng.RNG) Route {
+	cl := s.s.Cliques
+	if cl.SameClique(src, dst) {
+		w := s.firstAvailableIntra(src, slot)
+		p := Route{src}
+		p = appendHop(p, w)
+		return appendHop(p, dst)
+	}
+	w := s.firstAvailableIntra(src, slot)
+	y := s.landing(w, cl.CliqueOf(dst))
+	p := Route{src}
+	p = appendHop(p, w)
+	p = appendHop(p, y)
+	return appendHop(p, dst)
+}
+
+// firstAvailableIntra returns the destination of src's next intra-clique
+// circuit at or after slot; when the clique is a singleton it returns src
+// (the load-balancing hop degenerates to a no-op).
+func (s *SORN) firstAvailableIntra(src, slot int) int {
+	cl := s.s.Cliques
+	if cl.Size(cl.CliqueOf(src)) == 1 {
+		return src
+	}
+	period := s.s.Schedule.Period()
+	for t := slot; t < slot+period; t++ {
+		d := s.s.Schedule.DestAt(src, t)
+		if cl.SameClique(src, d) {
+			return d
+		}
+	}
+	// A clique of size >= 2 always has intra slots; reaching here means
+	// the schedule was built inconsistently.
+	panic("routing: SORN schedule has no intra-clique circuit")
+}
+
+// Paths implements Router. The load-balancing hop is uniform over the
+// source's clique (including src itself: the slot in which src's own
+// inter-clique or direct circuit is used first).
+func (s *SORN) Paths(src, dst int, fn func(Route, float64)) {
+	cl := s.s.Cliques
+	mem := cl.Members(cl.CliqueOf(src))
+	if cl.SameClique(src, dst) {
+		// Intra: intermediate uniform over clique members except src.
+		if len(mem) == 1 {
+			fn(Route{src, dst}, 1)
+			return
+		}
+		prob := 1 / float64(len(mem)-1)
+		for _, w := range mem {
+			if w == src {
+				continue
+			}
+			p := Route{src}
+			p = appendHop(p, w)
+			p = appendHop(p, dst)
+			fn(p, prob)
+		}
+		return
+	}
+	// Inter: load-balancing hop uniform over all clique members
+	// (choosing src itself means using src's own inter-clique circuit).
+	prob := 1 / float64(len(mem))
+	tc := cl.CliqueOf(dst)
+	for _, w := range mem {
+		y := s.landing(w, tc)
+		p := Route{src}
+		p = appendHop(p, w)
+		p = appendHop(p, y)
+		p = appendHop(p, dst)
+		fn(p, prob)
+	}
+}

@@ -1,0 +1,174 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matching"
+)
+
+func hotDemand(nc int, hot float64) [][]float64 {
+	d := make([][]float64, nc)
+	for a := range d {
+		d[a] = make([]float64, nc)
+		for b := range d[a] {
+			if a == b {
+				continue
+			}
+			d[a][b] = 1
+			if b == 0 {
+				d[a][b] = hot
+			}
+		}
+	}
+	return d
+}
+
+func TestBuildSORNDemandAwareValid(t *testing.T) {
+	s, err := BuildSORNDemandAware(DemandAwareConfig{
+		N: 64, Nc: 8, Q: 2, Demand: hotDemand(8, 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Realized q within 30% of requested (slot quantization).
+	if math.Abs(s.RealizedQ-2)/2 > 0.3 {
+		t.Fatalf("realized q = %f", s.RealizedQ)
+	}
+}
+
+// pairDemand returns a demand where clique 2a and 2a+1 are partners
+// exchanging `hot` units while all other pairs exchange 1.
+func pairDemand(nc int, hot float64) [][]float64 {
+	d := hotDemand(nc, 1)
+	for a := 0; a+1 < nc; a += 2 {
+		d[a][a+1], d[a+1][a] = hot, hot
+	}
+	return d
+}
+
+func TestDemandAwareSkewsBandwidthForPairs(t *testing.T) {
+	// Balanced pairwise skew (partner cliques) is expressible; a hot
+	// *receiver* is not, because every schedule's bandwidth matrix is
+	// doubly stochastic (one circuit per node per slot).
+	s, err := BuildSORNDemandAware(DemandAwareConfig{
+		N: 64, Nc: 8, Q: 2, Demand: pairDemand(8, 8), Floor: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 (clique 0): bandwidth toward partner clique 1 must far
+	// exceed bandwidth toward clique 2.
+	toPartner, toCold := 0.0, 0.0
+	for _, v := range s.Cliques.Members(1) {
+		toPartner += s.Schedule.LinkFraction(0, v)
+	}
+	for _, v := range s.Cliques.Members(2) {
+		toCold += s.Schedule.LinkFraction(0, v)
+	}
+	if toPartner < 2*toCold {
+		t.Fatalf("partner clique got %f vs cold %f; skew not encoded", toPartner, toCold)
+	}
+	if toCold == 0 {
+		t.Fatal("floor failed: cold clique fully starved")
+	}
+}
+
+func TestDemandAwareHotReceiverIsFlattened(t *testing.T) {
+	// A hot destination clique cannot receive more than its ports allow:
+	// Sinkhorn flattens a symmetric hot-column demand back to uniform.
+	// (§5: gravity models need port/bandwidth heterogeneity.)
+	s, err := BuildSORNDemandAware(DemandAwareConfig{
+		N: 64, Nc: 8, Q: 2, Demand: hotDemand(8, 6), Floor: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	toHot, toCold := 0.0, 0.0
+	for _, v := range s.Cliques.Members(0) {
+		toHot += s.Schedule.LinkFraction(8, v)
+	}
+	for _, v := range s.Cliques.Members(2) {
+		toCold += s.Schedule.LinkFraction(8, v)
+	}
+	if toHot > 1.5*toCold {
+		t.Fatalf("hot receiver was upweighted (%f vs %f) despite port limits", toHot, toCold)
+	}
+}
+
+func TestDemandAwareKeepsAllPairsRoutable(t *testing.T) {
+	s, err := BuildSORNDemandAware(DemandAwareConfig{
+		N: 32, Nc: 4, Q: 3, Demand: hotDemand(4, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := matching.Compile(s.Schedule)
+	// Every node must reach its same-local peer in every other clique
+	// (the landing the SORN router uses), and all clique peers.
+	for node := 0; node < 32; node++ {
+		cl := s.Cliques
+		for _, peer := range cl.Members(cl.CliqueOf(node)) {
+			if peer != node && !c.HasCircuit(node, peer) {
+				t.Fatalf("missing intra circuit %d->%d", node, peer)
+			}
+		}
+		for target := 0; target < 4; target++ {
+			if target == cl.CliqueOf(node) {
+				continue
+			}
+			y := cl.Members(target)[cl.LocalIndex(node)]
+			if !c.HasCircuit(node, y) {
+				t.Fatalf("missing landing circuit %d->%d (clique %d)", node, y, target)
+			}
+		}
+	}
+}
+
+func TestDemandAwareUniformDemandMatchesUniformBuilder(t *testing.T) {
+	// With a uniform demand matrix, the demand-aware builder should give
+	// every clique offset equal bandwidth, like BuildSORN.
+	s, err := BuildSORNDemandAware(DemandAwareConfig{
+		N: 32, Nc: 4, Q: 2, Demand: hotDemand(4, 1), Floor: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracs := make([]float64, 4)
+	for target := 0; target < 4; target++ {
+		for _, v := range s.Cliques.Members(target) {
+			fracs[target] += s.Schedule.LinkFraction(0, v)
+		}
+	}
+	// Node 0 is in clique 0; targets 1..3 should be near-equal.
+	for c := 2; c < 4; c++ {
+		if math.Abs(fracs[c]-fracs[1]) > 0.25*fracs[1]+1e-9 {
+			t.Fatalf("uniform demand produced skew: %v", fracs)
+		}
+	}
+}
+
+func TestBuildSORNDemandAwareErrors(t *testing.T) {
+	good := hotDemand(4, 2)
+	cases := []DemandAwareConfig{
+		{N: 32, Nc: 1, Q: 1, Demand: hotDemand(1, 1)},
+		{N: 4, Nc: 4, Q: 1, Demand: good},      // singleton cliques
+		{N: 32, Nc: 4, Q: 0, Demand: good},     // bad q
+		{N: 32, Nc: 4, Q: 1, Demand: good[:2]}, // wrong shape
+		{N: 32, Nc: 4, Q: 1, Demand: good, Floor: 2},
+		{N: 31, Nc: 4, Q: 1, Demand: good}, // indivisible
+	}
+	for i, c := range cases {
+		if _, err := BuildSORNDemandAware(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	neg := hotDemand(4, 2)
+	neg[0][1] = -1
+	if _, err := BuildSORNDemandAware(DemandAwareConfig{N: 32, Nc: 4, Q: 1, Demand: neg}); err == nil {
+		t.Error("negative demand accepted")
+	}
+}

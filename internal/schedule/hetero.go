@@ -1,0 +1,134 @@
+package schedule
+
+import (
+	"fmt"
+)
+
+// Hetero supports the §5 "non-uniform clique sizes" point by reduction:
+// a deployment with unequal physical cliques is expressed over equal
+// *virtual* cliques of size g = gcd(sizes), with the demand-aware (BvN)
+// builder concentrating inter-virtual-clique bandwidth between virtual
+// cliques that belong to the same physical clique. A matching slot must
+// be a permutation, so cliques of unequal size cannot exchange full
+// bijections directly — but block-dense virtual demand encodes the same
+// macro-structure with valid matchings.
+type Hetero struct {
+	// Physical is the requested partition (unequal sizes allowed).
+	Physical *Cliques
+	// Virtual is the equal partition the schedule is actually built on.
+	Virtual *Cliques
+	// Built is the demand-aware schedule; route it with
+	// routing.NewSORN(Built).
+	Built *SORN
+	// VirtualOf maps each physical clique to its virtual clique ids.
+	VirtualOf [][]int
+}
+
+// BuildHetero constructs the reduction. sizes are the physical clique
+// sizes (each ≥ 2·gcd is not required, but each must be a multiple of
+// the gcd and the gcd must be ≥ 2 so virtual cliques have ≥ 2 nodes).
+// q is the physical intra : inter bandwidth ratio; internalBoost is how
+// much denser same-physical-clique virtual pairs are than cross-physical
+// pairs (≥ 1; e.g. q works well).
+func BuildHetero(sizes []int, q, internalBoost float64) (*Hetero, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("schedule: hetero needs >= 2 physical cliques")
+	}
+	if internalBoost < 1 {
+		return nil, fmt.Errorf("schedule: internal boost %f must be >= 1", internalBoost)
+	}
+	g := sizes[0]
+	for _, k := range sizes[1:] {
+		g = gcdInt(g, k)
+	}
+	if g < 2 {
+		return nil, fmt.Errorf("schedule: gcd of clique sizes is %d; virtual cliques need >= 2 nodes", g)
+	}
+	phys, err := HeteroCliques(sizes)
+	if err != nil {
+		return nil, err
+	}
+	n := phys.N()
+	nvc := n / g
+	virtAssign := make([]int, n)
+	for i := range virtAssign {
+		virtAssign[i] = i / g
+	}
+	virt, err := NewCliques(virtAssign)
+	if err != nil {
+		return nil, err
+	}
+
+	// Map physical cliques to their virtual cliques (contiguous).
+	virtualOf := make([][]int, len(sizes))
+	physOfVirt := make([]int, nvc)
+	vc := 0
+	for c, k := range sizes {
+		for i := 0; i < k/g; i++ {
+			virtualOf[c] = append(virtualOf[c], vc)
+			physOfVirt[vc] = c
+			vc++
+		}
+	}
+
+	// Virtual-clique demand: boosted within a physical clique.
+	demand := make([][]float64, nvc)
+	for a := range demand {
+		demand[a] = make([]float64, nvc)
+		for b := range demand[a] {
+			if a == b {
+				continue
+			}
+			demand[a][b] = 1
+			if physOfVirt[a] == physOfVirt[b] {
+				demand[a][b] = internalBoost
+			}
+		}
+	}
+	built, err := BuildSORNDemandAware(DemandAwareConfig{
+		N: n, Nc: nvc, Q: q, Demand: demand, Floor: 0.1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Hetero{Physical: phys, Virtual: virt, Built: built, VirtualOf: virtualOf}, nil
+}
+
+// HeteroCliques builds a partition from explicit clique sizes.
+func HeteroCliques(sizes []int) (*Cliques, error) {
+	total := 0
+	for _, k := range sizes {
+		if k < 1 {
+			return nil, fmt.Errorf("schedule: clique size %d invalid", k)
+		}
+		total += k
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("schedule: no cliques given")
+	}
+	assign := make([]int, 0, total)
+	for c, k := range sizes {
+		for i := 0; i < k; i++ {
+			assign = append(assign, c)
+		}
+	}
+	return NewCliques(assign)
+}
+
+// MaxCliqueSize returns the largest clique's size.
+func MaxCliqueSize(cl *Cliques) int {
+	max := 0
+	for c := 0; c < cl.NumCliques(); c++ {
+		if k := cl.Size(c); k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+func gcdInt(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

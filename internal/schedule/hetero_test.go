@@ -1,0 +1,107 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestHeteroCliques(t *testing.T) {
+	cl, err := HeteroCliques([]int{4, 2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.N() != 12 || cl.NumCliques() != 3 {
+		t.Fatalf("n=%d nc=%d", cl.N(), cl.NumCliques())
+	}
+	if cl.Size(0) != 4 || cl.Size(1) != 2 || cl.Size(2) != 6 {
+		t.Fatal("sizes wrong")
+	}
+	if MaxCliqueSize(cl) != 6 {
+		t.Fatal("max size wrong")
+	}
+	if _, ok := cl.Uniform(); ok {
+		t.Fatal("unequal partition reported uniform")
+	}
+	if _, err := HeteroCliques(nil); err == nil {
+		t.Error("empty sizes accepted")
+	}
+	if _, err := HeteroCliques([]int{4, 0}); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestBuildHeteroValid(t *testing.T) {
+	// Physical cliques of 16, 8, 8 → virtual cliques of 8.
+	h, err := BuildHetero([]int{16, 8, 8}, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Built.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Virtual.NumCliques() != 4 {
+		t.Fatalf("virtual cliques = %d, want 4", h.Virtual.NumCliques())
+	}
+	if len(h.VirtualOf[0]) != 2 || len(h.VirtualOf[1]) != 1 {
+		t.Fatalf("virtual mapping wrong: %v", h.VirtualOf)
+	}
+}
+
+func TestBuildHeteroBoostsInternalBandwidth(t *testing.T) {
+	// Node 0 is in the big physical clique (nodes 0..15, two virtual
+	// cliques). Its bandwidth toward the sibling virtual clique (8..15)
+	// must exceed its bandwidth toward a foreign one (16..23).
+	h, err := BuildHetero([]int{16, 8, 8}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sibling, foreign := 0.0, 0.0
+	for v := 8; v < 16; v++ {
+		sibling += h.Built.Schedule.LinkFraction(0, v)
+	}
+	for v := 16; v < 24; v++ {
+		foreign += h.Built.Schedule.LinkFraction(0, v)
+	}
+	if sibling <= 1.5*foreign {
+		t.Fatalf("sibling virtual clique got %f vs foreign %f; boost not encoded", sibling, foreign)
+	}
+}
+
+func TestBuildHeteroErrors(t *testing.T) {
+	if _, err := BuildHetero([]int{8}, 2, 2); err == nil {
+		t.Error("single clique accepted")
+	}
+	if _, err := BuildHetero([]int{4, 3}, 2, 2); err == nil {
+		t.Error("gcd=1 accepted")
+	}
+	if _, err := BuildHetero([]int{8, 4}, 2, 0.5); err == nil {
+		t.Error("boost < 1 accepted")
+	}
+	if _, err := BuildHetero([]int{8, 0}, 2, 2); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestBuildHeteroProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		g := 2 + r.Intn(3)
+		nphys := 2 + r.Intn(3)
+		sizes := make([]int, nphys)
+		for i := range sizes {
+			sizes[i] = g * (1 + r.Intn(3))
+		}
+		h, err := BuildHetero(sizes, 1+3*r.Float64(), 1+3*r.Float64())
+		if err != nil {
+			// Reductions with a single virtual clique are invalid; that
+			// only happens when all sizes collapse, which they cannot
+			// here (nphys >= 2). Any other error is a failure.
+			return false
+		}
+		return h.Built.Schedule.Validate() == nil
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matching"
+)
+
+// RoundRobin1D returns the flat round-robin schedule used by Sirius-like
+// 1D optimal ORNs (paper Figure 1): period N−1, every ordered pair
+// connected exactly once per period.
+func RoundRobin1D(n int) *matching.Schedule {
+	return matching.RoundRobin(n)
+}
+
+// OptimalORN builds the h-dimensional optimal ORN schedule of Amir et
+// al. [4]: nodes are h-digit numbers in base a (N = a^h); the schedule
+// interleaves dimensions round-robin, and within each dimension cycles
+// through the a−1 digit increments. Period = h·(a−1). Traffic is routed
+// on up to 2h hops (h spraying + h direct), trading throughput 1/(2h)
+// for latency O(h·N^(1/h)).
+type OptimalORN struct {
+	N, H, Base int
+	Schedule   *matching.Schedule
+}
+
+// BuildOptimalORN constructs the schedule. n must be a perfect h-th power.
+func BuildOptimalORN(n, h int) (*OptimalORN, error) {
+	if h < 1 {
+		return nil, fmt.Errorf("schedule: ORN dimension must be >= 1, got %d", h)
+	}
+	a, err := intRoot(n, h)
+	if err != nil {
+		return nil, err
+	}
+	if a < 2 {
+		return nil, fmt.Errorf("schedule: ORN base %d too small (n=%d, h=%d)", a, n, h)
+	}
+	s := &matching.Schedule{N: n}
+	// Interleave dimensions: slot t works dimension t mod h with digit
+	// increment 1 + (t/h) mod (a-1).
+	period := h * (a - 1)
+	for t := 0; t < period; t++ {
+		dim := t % h
+		inc := 1 + (t/h)%(a-1)
+		m := make(matching.Matching, n)
+		stride := pow(a, dim)
+		for node := 0; node < n; node++ {
+			digit := (node / stride) % a
+			m[node] = node - digit*stride + ((digit+inc)%a)*stride
+		}
+		s.Slots = append(s.Slots, m)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("schedule: built invalid ORN schedule: %w", err)
+	}
+	return &OptimalORN{N: n, H: h, Base: a, Schedule: s}, nil
+}
+
+// Digits decomposes a node id into its h base-a digits (least significant
+// first); the routing scheme corrects one digit per direct hop.
+func (o *OptimalORN) Digits(node int) []int {
+	d := make([]int, o.H)
+	for i := 0; i < o.H; i++ {
+		d[i] = node % o.Base
+		node /= o.Base
+	}
+	return d
+}
+
+func intRoot(n, h int) (int, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("schedule: ORN needs n >= 2, got %d", n)
+	}
+	a := int(math.Round(math.Pow(float64(n), 1/float64(h))))
+	for _, cand := range []int{a - 1, a, a + 1} {
+		if cand >= 1 && pow(cand, h) == n {
+			return cand, nil
+		}
+	}
+	return 0, fmt.Errorf("schedule: n=%d is not a perfect %d-th power", n, h)
+}
+
+func pow(a, h int) int {
+	p := 1
+	for i := 0; i < h; i++ {
+		p *= a
+	}
+	return p
+}
+
+// TopologyA returns the paper's Figure 2(d) example: 8 nodes, two cliques
+// of four, oversubscription q = 3 (intra-clique bandwidth thrice the
+// inter-clique bandwidth), realized in a 4-slot schedule.
+func TopologyA() *SORN {
+	s, err := BuildSORN(SORNConfig{N: 8, Nc: 2, Q: 3})
+	if err != nil {
+		panic("schedule: TopologyA construction failed: " + err.Error())
+	}
+	return s
+}
+
+// TopologyB returns the paper's Figure 2(e) example: 8 nodes, four cliques
+// of two. We render it with q = 1 (the paper does not fix q for this
+// figure), giving a 6-slot schedule.
+func TopologyB() *SORN {
+	s, err := BuildSORN(SORNConfig{N: 8, Nc: 4, Q: 1})
+	if err != nil {
+		panic("schedule: TopologyB construction failed: " + err.Error())
+	}
+	return s
+}
+
+// OperaLike models Opera's [18] rotation abstraction at the granularity
+// this reproduction needs: each node has one active circuit per slot, the
+// active matching advances only every epochLen slots, and the sequence of
+// matchings cycles the full round robin. At any instant the union of the
+// matchings held across an epoch window of u consecutive epochs forms the
+// u-regular expander Opera routes bulk traffic over.
+type OperaLike struct {
+	N        int
+	EpochLen int
+	Schedule *matching.Schedule
+}
+
+// BuildOperaLike constructs the rotation schedule: period (n−1)·epochLen.
+func BuildOperaLike(n, epochLen int) (*OperaLike, error) {
+	if epochLen < 1 {
+		return nil, fmt.Errorf("schedule: Opera epoch length must be >= 1, got %d", epochLen)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("schedule: Opera needs n >= 2, got %d", n)
+	}
+	s := &matching.Schedule{N: n}
+	for k := 1; k < n; k++ {
+		m := matching.CyclicShift(n, k)
+		for e := 0; e < epochLen; e++ {
+			s.Slots = append(s.Slots, m)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &OperaLike{N: n, EpochLen: epochLen, Schedule: s}, nil
+}

@@ -1,0 +1,251 @@
+// Package stats provides the small statistics toolkit the simulator and the
+// experiment harness share: streaming summaries, percentile estimation over
+// retained samples, log-scale histograms for latency distributions, and a
+// fixed-width table renderer used by the cmd/ binaries to print the paper's
+// tables and figure series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates a stream of float64 observations and reports count,
+// mean, variance (Welford), min, and max without retaining samples.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() int64 { return s.n }
+
+// Mean returns the running mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the sample variance, or 0 for fewer than 2 observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// Sample retains every observation and answers percentile queries exactly.
+// Suitable for the volumes this repository produces (≤ millions of points).
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.xs = append(s.xs, v)
+	s.sorted = false
+}
+
+// Count returns the number of observations.
+func (s *Sample) Count() int { return len(s.xs) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by linear
+// interpolation between closest ranks. It returns 0 with no observations.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s.xs) {
+		return s.xs[len(s.xs)-1]
+	}
+	return s.xs[lo] + frac*(s.xs[lo+1]-s.xs[lo])
+}
+
+// Mean returns the arithmetic mean of the sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.xs {
+		sum += v
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Sample) Max() float64 { return s.Percentile(100) }
+
+// LogHistogram buckets positive values into base-2 logarithmic bins, which
+// is how latency distributions spanning ns..ms are reported.
+type LogHistogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewLogHistogram returns an empty histogram.
+func NewLogHistogram() *LogHistogram {
+	return &LogHistogram{counts: make(map[int]int64)}
+}
+
+// Add records v. Non-positive values land in the lowest bucket.
+func (h *LogHistogram) Add(v float64) {
+	b := 0
+	if v > 1 {
+		b = int(math.Log2(v))
+	}
+	h.counts[b]++
+	h.total++
+}
+
+// Total returns the number of recorded values.
+func (h *LogHistogram) Total() int64 { return h.total }
+
+// Buckets returns (lowerBound, count) pairs in increasing order.
+func (h *LogHistogram) Buckets() (bounds []float64, counts []int64) {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		bounds = append(bounds, math.Pow(2, float64(k)))
+		counts = append(counts, h.counts[k])
+	}
+	return bounds, counts
+}
+
+// Table renders rows of strings with aligned columns, in the style of the
+// paper's Table 1. The zero value is ready to use.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// SetHeader sets the column headers.
+func (t *Table) SetHeader(cols ...string) { t.header = cols }
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddRowf appends a row of formatted cells, each built with fmt.Sprintf
+// from consecutive (format, value) handling left to the caller.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	ncols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < ncols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(ncols-1)))
+		b.WriteString("\n")
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (no quoting; callers only
+// emit numeric and simple-identifier cells).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	if len(t.header) > 0 {
+		b.WriteString(strings.Join(t.header, ","))
+		b.WriteString("\n")
+	}
+	for _, r := range t.rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

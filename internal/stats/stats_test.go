@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("mean = %f", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max = %f/%f", s.Min(), s.Max())
+	}
+	if math.Abs(s.Variance()-2.5) > 1e-12 {
+		t.Fatalf("variance = %f, want 2.5", s.Variance())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.Count() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	s.Add(7)
+	if s.Variance() != 0 || s.Mean() != 7 || s.Min() != 7 || s.Max() != 7 {
+		t.Fatal("single-element summary wrong")
+	}
+}
+
+func TestSummaryMatchesNaive(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(100)
+		var s Summary
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64()*200 - 100
+			s.Add(xs[i])
+		}
+		mean := 0.0
+		for _, v := range xs {
+			mean += v
+		}
+		mean /= float64(n)
+		varsum := 0.0
+		for _, v := range xs {
+			varsum += (v - mean) * (v - mean)
+		}
+		naiveVar := varsum / float64(n-1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Variance()-naiveVar) < 1e-6
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("p%.0f = %f, want %f", c.p, got, c.want)
+		}
+	}
+	if s.Max() != 100 {
+		t.Errorf("max = %f", s.Max())
+	}
+	if s.Mean() != 50.5 {
+		t.Errorf("mean = %f", s.Mean())
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		var s Sample
+		n := 1 + r.Intn(200)
+		for i := 0; i < n; i++ {
+			s.Add(r.Float64() * 1000)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileInterleavedAdd(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	s.Add(1)
+	_ = s.Percentile(50)
+	s.Add(100) // must re-sort after this
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("p100 after interleaved add = %f", got)
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.Mean() != 0 || s.Count() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h := NewLogHistogram()
+	for _, v := range []float64{0.5, 1, 2, 3, 4, 1000} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != len(counts) || len(bounds) == 0 {
+		t.Fatal("malformed buckets")
+	}
+	var sum int64
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatal("bounds not increasing")
+		}
+	}
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 6 {
+		t.Fatalf("bucket counts sum to %d", sum)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var tb Table
+	tb.SetHeader("System", "Thpt.")
+	tb.AddRow("1D ORN", "50%")
+	tb.AddRow("SORN", "40.98%")
+	out := tb.String()
+	if !strings.Contains(out, "System") || !strings.Contains(out, "40.98%") {
+		t.Fatalf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines (header, rule, 2 rows), got %d:\n%s", len(lines), out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "System,Thpt.\n") {
+		t.Fatalf("csv header wrong: %q", csv)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	var tb Table
+	tb.SetHeader("a", "b", "c")
+	tb.AddRowf("x", 1.5, 42)
+	out := tb.String()
+	for _, want := range []string{"x", "1.50", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	var tb Table
+	tb.SetHeader("a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "z")
+	out := tb.String()
+	if !strings.Contains(out, "only-one") || !strings.Contains(out, "z") {
+		t.Fatalf("ragged rows mishandled:\n%s", out)
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	var tb Table
+	tb.AddRow("a", "b")
+	out := tb.String()
+	if strings.Contains(out, "---") {
+		t.Fatalf("headerless table rendered a rule:\n%s", out)
+	}
+	if !strings.Contains(out, "a") {
+		t.Fatal("row missing")
+	}
+}
+
+func TestLogHistogramEmptyBuckets(t *testing.T) {
+	h := NewLogHistogram()
+	bounds, counts := h.Buckets()
+	if len(bounds) != 0 || len(counts) != 0 || h.Total() != 0 {
+		t.Fatal("empty histogram not empty")
+	}
+}

@@ -1,0 +1,198 @@
+// Package topology derives and analyzes the logical topologies that circuit
+// schedules emulate. A schedule in which circuit u→v occupies a fraction l
+// of slots realizes a virtual edge of bandwidth b·l for node bandwidth b
+// (paper §4, "Topology"). The package also provides the expander graphs
+// Opera-style designs route over, and the graph metrics (diameter, path
+// counts, blast radius inputs) used by the ablation experiments.
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+	"repro/internal/rng"
+)
+
+// Graph is a weighted directed graph over n nodes. Weights are bandwidth
+// fractions (dimensionless, relative to node bandwidth b = 1).
+type Graph struct {
+	n   int
+	adj []map[int]float64 // adj[u][v] = weight of edge u->v
+}
+
+// NewGraph returns an empty graph over n nodes.
+func NewGraph(n int) *Graph {
+	g := &Graph{n: n, adj: make([]map[int]float64, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]float64)
+	}
+	return g
+}
+
+// FromSchedule builds the logical topology a schedule emulates: edge u→v
+// has weight equal to the fraction of slots in which u circuits to v.
+func FromSchedule(s *matching.Schedule) *Graph {
+	g := NewGraph(s.N)
+	inc := 1 / float64(s.Period())
+	for _, m := range s.Slots {
+		for u, v := range m {
+			g.adj[u][v] += inc
+		}
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge adds weight w to edge u→v.
+func (g *Graph) AddEdge(u, v int, w float64) { g.adj[u][v] += w }
+
+// Weight returns the weight of edge u→v (0 when absent).
+func (g *Graph) Weight(u, v int) float64 { return g.adj[u][v] }
+
+// OutDegree returns the number of distinct out-neighbors of u.
+func (g *Graph) OutDegree(u int) int { return len(g.adj[u]) }
+
+// Neighbors calls fn for each out-neighbor of u with its weight.
+func (g *Graph) Neighbors(u int, fn func(v int, w float64)) {
+	for v, w := range g.adj[u] {
+		fn(v, w)
+	}
+}
+
+// OutWeight returns the total outgoing weight of u; for a schedule-derived
+// graph this is 1 (every slot circuits u somewhere).
+func (g *Graph) OutWeight(u int) float64 {
+	sum := 0.0
+	for _, w := range g.adj[u] {
+		sum += w
+	}
+	return sum
+}
+
+// BFS returns hop distances from src over edges with positive weight;
+// unreachable nodes get -1.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the maximum finite hop distance over all ordered pairs,
+// and whether the graph is strongly connected.
+func (g *Graph) Diameter() (int, bool) {
+	max := 0
+	for u := 0; u < g.n; u++ {
+		for _, d := range g.BFS(u) {
+			if d < 0 {
+				return 0, false
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max, true
+}
+
+// AvgPathLength returns the mean hop distance over all ordered pairs of
+// distinct nodes; the graph must be strongly connected.
+func (g *Graph) AvgPathLength() (float64, error) {
+	total, count := 0, 0
+	for u := 0; u < g.n; u++ {
+		for v, d := range g.BFS(u) {
+			if v == u {
+				continue
+			}
+			if d < 0 {
+				return 0, fmt.Errorf("topology: graph not strongly connected (no path %d->%d)", u, v)
+			}
+			total += d
+			count++
+		}
+	}
+	return float64(total) / float64(count), nil
+}
+
+// RandomRegularDigraph returns a d-regular digraph over n nodes built as
+// the union of d random derangement matchings — the expander construction
+// Opera-style designs rely on. Each node has out-degree and in-degree d
+// (counting multiplicity; distinct neighbors may be fewer by collision).
+func RandomRegularDigraph(n, d int, r *rng.RNG) (*Graph, error) {
+	if d < 1 || d >= n {
+		return nil, fmt.Errorf("topology: degree %d out of range for n=%d", d, n)
+	}
+	g := NewGraph(n)
+	for i := 0; i < d; i++ {
+		m, err := RandomDerangement(n, r)
+		if err != nil {
+			return nil, err
+		}
+		for u, v := range m {
+			g.adj[u][v] += 1 / float64(d)
+		}
+	}
+	return g, nil
+}
+
+// RandomDerangement returns a uniform-ish random permutation of [0, n)
+// without fixed points, by rejection sampling over Fisher–Yates shuffles.
+func RandomDerangement(n int, r *rng.RNG) (matching.Matching, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: derangement needs n >= 2, got %d", n)
+	}
+	for attempt := 0; attempt < 1000; attempt++ {
+		p := r.Perm(n)
+		ok := true
+		for i, v := range p {
+			if i == v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return matching.Matching(p), nil
+		}
+	}
+	// Probability of 1000 consecutive rejections is (1-1/e)^1000 ≈ 0;
+	// reaching here indicates a broken RNG.
+	return nil, fmt.Errorf("topology: derangement sampling did not converge")
+}
+
+// RemoveEdge deletes the edge u→v, used for failure injection.
+func (g *Graph) RemoveEdge(u, v int) { delete(g.adj[u], v) }
+
+// RemoveNode deletes all edges incident to node u (the node id remains,
+// isolated), used for node-failure injection.
+func (g *Graph) RemoveNode(u int) {
+	g.adj[u] = make(map[int]float64)
+	for w := 0; w < g.n; w++ {
+		delete(g.adj[w], u)
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.n)
+	for u, m := range g.adj {
+		for v, w := range m {
+			c.adj[u][v] = w
+		}
+	}
+	return c
+}

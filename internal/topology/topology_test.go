@@ -1,0 +1,181 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matching"
+	"repro/internal/rng"
+	"repro/internal/schedule"
+)
+
+func TestFromScheduleRoundRobin(t *testing.T) {
+	g := FromSchedule(matching.RoundRobin(8))
+	if g.N() != 8 {
+		t.Fatalf("n = %d", g.N())
+	}
+	for u := 0; u < 8; u++ {
+		if g.OutDegree(u) != 7 {
+			t.Fatalf("node %d out-degree %d", u, g.OutDegree(u))
+		}
+		if math.Abs(g.OutWeight(u)-1) > 1e-9 {
+			t.Fatalf("node %d out-weight %f", u, g.OutWeight(u))
+		}
+		for v := 0; v < 8; v++ {
+			if u == v {
+				continue
+			}
+			if w := g.Weight(u, v); math.Abs(w-1.0/7) > 1e-9 {
+				t.Fatalf("edge %d->%d weight %f", u, v, w)
+			}
+		}
+	}
+	d, ok := g.Diameter()
+	if !ok || d != 1 {
+		t.Fatalf("round robin diameter = %d,%v, want 1 (full mesh)", d, ok)
+	}
+}
+
+func TestFromScheduleSORNWeights(t *testing.T) {
+	// Topology A (Fig 2d): intra-clique virtual edges carry 3x the
+	// bandwidth of the total inter-clique allocation per node.
+	a := schedule.TopologyA()
+	g := FromSchedule(a.Schedule)
+	intra := g.Weight(0, 1) + g.Weight(0, 2) + g.Weight(0, 3)
+	inter := 0.0
+	for v := 4; v < 8; v++ {
+		inter += g.Weight(0, v)
+	}
+	if math.Abs(intra/inter-3) > 1e-9 {
+		t.Fatalf("intra/inter bandwidth ratio = %f, want 3", intra/inter)
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	// Directed cycle 0->1->2->3->0: diameter 3.
+	g := NewGraph(4)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, (i+1)%4, 1)
+	}
+	dist := g.BFS(0)
+	want := []int{0, 1, 2, 3}
+	for i, d := range want {
+		if dist[i] != d {
+			t.Fatalf("dist[%d] = %d, want %d", i, dist[i], d)
+		}
+	}
+	d, ok := g.Diameter()
+	if !ok || d != 3 {
+		t.Fatalf("diameter = %d,%v", d, ok)
+	}
+	avg, err := g.AvgPathLength()
+	if err != nil || math.Abs(avg-2) > 1e-9 {
+		t.Fatalf("avg path length = %f, %v", avg, err)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1)
+	if _, ok := g.Diameter(); ok {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if _, err := g.AvgPathLength(); err == nil {
+		t.Fatal("AvgPathLength on disconnected graph did not error")
+	}
+	dist := g.BFS(0)
+	if dist[2] != -1 {
+		t.Fatal("unreachable node should have distance -1")
+	}
+}
+
+func TestRandomDerangement(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(50)
+		m, err := RandomDerangement(n, r)
+		if err != nil {
+			return false
+		}
+		return m.Validate() == nil
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := RandomDerangement(1, rng.New(1)); err == nil {
+		t.Error("n=1 derangement accepted")
+	}
+}
+
+func TestExpanderSmallDiameter(t *testing.T) {
+	// The Opera-like claim behind Table 1: a modest-degree random regular
+	// digraph over many nodes has tiny diameter, so short flows traverse
+	// few hops. Degree 8 over 512 nodes should give diameter <= 4.
+	r := rng.New(42)
+	g, err := RandomRegularDigraph(512, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := g.Diameter()
+	if !ok {
+		t.Fatal("expander not strongly connected")
+	}
+	if d > 5 {
+		t.Fatalf("expander diameter %d, want <= 5 (~log_8 512 + slack)", d)
+	}
+}
+
+func TestRandomRegularDigraphErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := RandomRegularDigraph(8, 0, r); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	if _, err := RandomRegularDigraph(8, 8, r); err == nil {
+		t.Error("degree n accepted")
+	}
+}
+
+func TestRemoveEdgeAndNode(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	c := g.Clone()
+	c.RemoveEdge(0, 1)
+	if c.Weight(0, 1) != 0 || g.Weight(0, 1) != 1 {
+		t.Fatal("RemoveEdge/Clone interaction wrong")
+	}
+	c2 := g.Clone()
+	c2.RemoveNode(1)
+	if c2.OutDegree(1) != 0 || c2.Weight(0, 1) != 0 {
+		t.Fatal("RemoveNode did not isolate node")
+	}
+	if g.OutDegree(1) != 1 {
+		t.Fatal("RemoveNode mutated the original")
+	}
+}
+
+func TestOptimalORNTopologyDiameter(t *testing.T) {
+	// A 2D ORN over 64 nodes (base 8) emulates a topology where any node
+	// is reachable in at most 2 hops (fix each digit once).
+	o, err := schedule.BuildOptimalORN(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FromSchedule(o.Schedule)
+	d, ok := g.Diameter()
+	if !ok || d != 2 {
+		t.Fatalf("2D ORN diameter = %d,%v, want 2", d, ok)
+	}
+}
+
+func BenchmarkDiameterExpander(b *testing.B) {
+	g, err := RandomRegularDigraph(256, 8, rng.New(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Diameter()
+	}
+}

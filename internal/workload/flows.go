@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Flow is one transfer: Size cells from Src to Dst, arriving at the given
+// absolute slot. One cell is one port-slot of transmission.
+type Flow struct {
+	ID      int
+	Src     int
+	Dst     int
+	Size    int   // cells
+	Arrival int64 // slot
+}
+
+// SizeDist samples flow sizes in cells.
+type SizeDist interface {
+	// Sample draws one flow size (>= 1 cell).
+	Sample(r *rng.RNG) int
+	// MeanCells is the distribution mean, used to convert offered load
+	// into a flow arrival rate.
+	MeanCells() float64
+	// Name identifies the distribution in reports.
+	Name() string
+}
+
+// FixedSize is a degenerate size distribution (every flow the same size).
+type FixedSize int
+
+// Sample implements SizeDist.
+func (f FixedSize) Sample(r *rng.RNG) int { return int(f) }
+
+// MeanCells implements SizeDist.
+func (f FixedSize) MeanCells() float64 { return float64(f) }
+
+// Name implements SizeDist.
+func (f FixedSize) Name() string { return fmt.Sprintf("fixed-%d", int(f)) }
+
+// cdfDist is an empirical flow-size distribution.
+type cdfDist struct {
+	name string
+	cdf  *rng.EmpiricalCDF
+}
+
+// Sample implements SizeDist. Interpolated sizes are rounded up so the
+// cumulative probability at each CDF knot is preserved exactly.
+func (c *cdfDist) Sample(r *rng.RNG) int {
+	v := int(math.Ceil(c.cdf.Sample(r)))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// MeanCells implements SizeDist.
+func (c *cdfDist) MeanCells() float64 { return c.cdf.Mean() }
+
+// Name implements SizeDist.
+func (c *cdfDist) Name() string { return c.name }
+
+// WebSearch returns the pFabric "web search" flow-size distribution [2]
+// (the DCTCP search workload), in cells/packets — the standard heavy-
+// tailed datacenter workload: median a handful of packets, tail in the
+// tens of thousands.
+func WebSearch() SizeDist {
+	return &cdfDist{
+		name: "pfabric-websearch",
+		cdf: rng.NewEmpiricalCDF(
+			[]float64{1, 6, 13, 19, 33, 53, 133, 667, 1333, 3333, 6667, 20000},
+			[]float64{0, 0.15, 0.30, 0.45, 0.60, 0.70, 0.80, 0.90, 0.95, 0.98, 0.99, 1},
+		),
+	}
+}
+
+// DataMining returns the pFabric "data mining" flow-size distribution [2]
+// (the VL2 workload): most flows are a few packets, but the tail carries
+// most bytes.
+func DataMining() SizeDist {
+	return &cdfDist{
+		name: "pfabric-datamining",
+		cdf: rng.NewEmpiricalCDF(
+			[]float64{1, 2, 3, 7, 267, 2107, 66667, 666667},
+			[]float64{0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99, 1},
+		),
+	}
+}
+
+// Bimodal mixes a short-flow and a bulk-flow size, with the given share
+// of flows short — modeling the paper's Table 1 assumption of a 75%
+// short-flow traffic share from the production trace [23].
+type Bimodal struct {
+	ShortCells, BulkCells int
+	ShortShare            float64
+}
+
+// Sample implements SizeDist.
+func (b Bimodal) Sample(r *rng.RNG) int {
+	if r.Float64() < b.ShortShare {
+		return b.ShortCells
+	}
+	return b.BulkCells
+}
+
+// MeanCells implements SizeDist.
+func (b Bimodal) MeanCells() float64 {
+	return b.ShortShare*float64(b.ShortCells) + (1-b.ShortShare)*float64(b.BulkCells)
+}
+
+// Name implements SizeDist.
+func (b Bimodal) Name() string { return "bimodal" }
+
+// PoissonFlows generates an open-loop flow workload: per-source Poisson
+// arrivals at the rate that offers `load` fraction of node bandwidth,
+// destinations drawn from a traffic matrix, sizes from a SizeDist.
+type PoissonFlows struct {
+	TM   *Matrix
+	Size SizeDist
+	// Load is the offered load per node as a fraction of node bandwidth
+	// (cells per slot), before any routing stretch.
+	Load float64
+
+	rng    *rng.RNG
+	nextID int
+}
+
+// NewPoissonFlows builds the generator with its own RNG stream.
+func NewPoissonFlows(tm *Matrix, size SizeDist, load float64, seed uint64) (*PoissonFlows, error) {
+	if load <= 0 {
+		return nil, fmt.Errorf("workload: load must be positive, got %f", load)
+	}
+	if err := tm.Validate(); err != nil {
+		return nil, err
+	}
+	return &PoissonFlows{TM: tm, Size: size, Load: load, rng: rng.New(seed)}, nil
+}
+
+// Window generates all flows arriving in slots [from, to), sorted by
+// arrival slot. Each source's arrival process is Poisson with rate
+// load·rowSum(src)/meanSize flows per slot.
+func (g *PoissonFlows) Window(from, to int64) []Flow {
+	var out []Flow
+	mean := g.Size.MeanCells()
+	for src := 0; src < g.TM.N; src++ {
+		rate := g.Load * g.TM.RowSum(src) / mean // flows per slot
+		if rate <= 0 {
+			continue
+		}
+		// Walk exponential inter-arrivals across the window.
+		t := float64(from) + g.rng.Exp(rate)
+		for t < float64(to) {
+			g.nextID++
+			out = append(out, Flow{
+				ID:      g.nextID,
+				Src:     src,
+				Dst:     g.TM.SampleDest(src, g.rng),
+				Size:    g.Size.Sample(g.rng),
+				Arrival: int64(t),
+			})
+			t += g.rng.Exp(rate)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Arrival != out[j].Arrival {
+			return out[i].Arrival < out[j].Arrival
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Capped truncates another size distribution at Max cells. Saturation-
+// throughput experiments use it to bound the transient that whole-flow
+// injection of heavy-tailed sizes would otherwise create (a 20000-cell
+// flow enqueues at once); grouping of cells into flows does not change
+// saturation throughput, only flow-level metrics. Build with NewCapped.
+type Capped struct {
+	Inner SizeDist
+	Max   int
+	mean  float64
+}
+
+// NewCapped wraps a size distribution with a cap, estimating the
+// truncated mean from a fixed-seed sample so the load-to-arrival-rate
+// conversion stays accurate.
+func NewCapped(inner SizeDist, max int) *Capped {
+	if max < 1 {
+		panic(fmt.Sprintf("workload: cap %d < 1", max))
+	}
+	r := rng.New(0x5eed)
+	const samples = 200000
+	sum := 0.0
+	for i := 0; i < samples; i++ {
+		v := inner.Sample(r)
+		if v > max {
+			v = max
+		}
+		sum += float64(v)
+	}
+	return &Capped{Inner: inner, Max: max, mean: sum / samples}
+}
+
+// Sample implements SizeDist.
+func (c *Capped) Sample(r *rng.RNG) int {
+	v := c.Inner.Sample(r)
+	if v > c.Max {
+		return c.Max
+	}
+	return v
+}
+
+// MeanCells implements SizeDist.
+func (c *Capped) MeanCells() float64 { return c.mean }
+
+// Name implements SizeDist.
+func (c *Capped) Name() string { return fmt.Sprintf("%s-cap%d", c.Inner.Name(), c.Max) }
+
+// FacebookLike returns the flow-size mix Table 1 assumes from the
+// production trace [23]: 75% of traffic volume in latency-sensitive
+// short flows, the rest in bulk transfers. Sizes are in cells (one cell
+// per port-slot).
+func FacebookLike() SizeDist {
+	return Bimodal{ShortCells: 16, BulkCells: 2000, ShortShare: 0.75}
+}
