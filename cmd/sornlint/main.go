@@ -1,0 +1,82 @@
+// Command sornlint runs this repository's determinism & correctness
+// analyzers (internal/lint) over the module's source and reports every
+// violation in file:line:col form.
+//
+// Usage:
+//
+//	go run ./cmd/sornlint ./...          # whole module (the default)
+//	go run ./cmd/sornlint -rules         # list the rules
+//	go run ./cmd/sornlint -only maporder ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	listRules := flag.Bool("rules", false, "list the available rules and exit")
+	only := flag.String("only", "", "comma-separated subset of rules to run (default: all)")
+	flag.Parse()
+
+	if *listRules {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "." {
+			fmt.Fprintf(os.Stderr, "sornlint: only module-wide analysis is supported (got %q); run with ./...\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	analyzers := lint.Analyzers()
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.AnalyzerByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "sornlint: unknown rule %q (see -rules)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sornlint:", err)
+		os.Exit(2)
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sornlint:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sornlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sornlint:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "sornlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

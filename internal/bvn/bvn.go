@@ -32,9 +32,11 @@ func Sinkhorn(m [][]float64, iters int, tol float64) ([][]float64, error) {
 			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 				return nil, fmt.Errorf("bvn: entry (%d,%d) = %f invalid", i, j, v)
 			}
+			//sornlint:ignore floateq -- validates an exact-zero diagonal
 			if i == j && v != 0 {
 				return nil, fmt.Errorf("bvn: nonzero diagonal at %d", i)
 			}
+			//sornlint:ignore floateq -- detects exactly-zero entries, not near-zero
 			if i != j && v == 0 {
 				return nil, fmt.Errorf("bvn: zero off-diagonal at (%d,%d); mix in a uniform floor first", i, j)
 			}

@@ -197,6 +197,7 @@ func (c *Controller) recluster() (*schedule.Cliques, error) {
 		vols[i] = nv{i, tm.RowSum(i) + tm.ColSum(i)}
 	}
 	sort.Slice(vols, func(i, j int) bool {
+		//sornlint:ignore floateq -- sort tie-break; equal keys fall through to the node id
 		if vols[i].vol != vols[j].vol {
 			return vols[i].vol > vols[j].vol
 		}
@@ -223,6 +224,7 @@ func (c *Controller) recluster() (*schedule.Cliques, error) {
 				for _, m := range members {
 					a += aff(cand, m)
 				}
+				//sornlint:ignore floateq -- deterministic tie-break on identical affinities
 				if a > bestAff || (a == bestAff && (best == -1 || cand < best)) {
 					best, bestAff = cand, a
 				}

@@ -21,12 +21,15 @@ type StableLoadOptions struct {
 
 func (o StableLoadOptions) withDefaults() StableLoadOptions {
 	o.Sim = o.Sim.withDefaults()
+	//sornlint:ignore floateq -- zero value means "unset", replaced by the default
 	if o.Hi == 0 {
 		o.Hi = 1
 	}
+	//sornlint:ignore floateq -- zero value means "unset", replaced by the default
 	if o.Tol == 0 {
 		o.Tol = 0.02
 	}
+	//sornlint:ignore floateq -- zero value means "unset", replaced by the default
 	if o.DeliveredFraction == 0 {
 		o.DeliveredFraction = 0.94
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/model"
 	"repro/internal/netsim"
+	"repro/internal/rng"
 	"repro/internal/routing"
 	"repro/internal/schedule"
 	"repro/internal/workload"
@@ -52,8 +53,10 @@ func DefaultFig2fConfig() Fig2fConfig {
 
 // Fig2f runs the throughput-vs-locality sweep. Points are independent,
 // so they run concurrently (one goroutine per x, bounded by GOMAXPROCS
-// via the runtime scheduler); results are returned in x order and are
-// deterministic (each point's simulator is seeded independently).
+// via the runtime scheduler); results are returned in x order. Each
+// worker gets its own RNG stream, split off the sweep seed serially
+// before any goroutine starts, so parallel and serial executions are
+// bit-for-bit identical regardless of scheduling.
 func Fig2f(cfg Fig2fConfig) ([]Fig2fPoint, error) {
 	var xs []float64
 	for x := 0.0; x <= 1.0000001; x += cfg.Step {
@@ -63,15 +66,20 @@ func Fig2f(cfg Fig2fConfig) ([]Fig2fPoint, error) {
 		xs = append(xs, x)
 	}
 	size := workload.NewCapped(workload.WebSearch(), cfg.SizeCap)
+	root := rng.New(cfg.Seed)
+	streams := make([]*rng.RNG, len(xs))
+	for i := range streams {
+		streams[i] = root.Split()
+	}
 	out := make([]Fig2fPoint, len(xs))
 	errs := make([]error, len(xs))
 	var wg sync.WaitGroup
 	for i, x := range xs {
 		wg.Add(1)
-		go func(i int, x float64) {
+		go func(i int, x float64, stream *rng.RNG) {
 			defer wg.Done()
-			out[i], errs[i] = fig2fPoint(cfg, x, size)
-		}(i, x)
+			out[i], errs[i] = fig2fPoint(cfg, x, size, stream)
+		}(i, x, streams[i])
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -82,7 +90,7 @@ func Fig2f(cfg Fig2fConfig) ([]Fig2fPoint, error) {
 	return out, nil
 }
 
-func fig2fPoint(cfg Fig2fConfig, x float64, size workload.SizeDist) (Fig2fPoint, error) {
+func fig2fPoint(cfg Fig2fConfig, x float64, size workload.SizeDist, stream *rng.RNG) (Fig2fPoint, error) {
 	nw, err := core.NewSORN(cfg.N, cfg.Nc, x)
 	if err != nil {
 		return Fig2fPoint{}, err
@@ -98,7 +106,7 @@ func fig2fPoint(cfg Fig2fConfig, x float64, size workload.SizeDist) (Fig2fPoint,
 	pt := Fig2fPoint{X: x, Theory: model.SORNThroughput(x), Fluid: fl.Theta}
 	if cfg.RunSim {
 		st, err := nw.SimulateSaturated(core.SimOptions{
-			Seed:          cfg.Seed,
+			Seed:          stream.Uint64(),
 			WarmupSlots:   cfg.WarmupSlots,
 			MeasureSlots:  cfg.MeasureSlots,
 			TargetBacklog: cfg.Backlog,

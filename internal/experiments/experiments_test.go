@@ -46,7 +46,7 @@ func TestFig2fWithSimSinglePoint(t *testing.T) {
 	cfg := DefaultFig2fConfig()
 	cfg.N, cfg.Nc = 64, 8
 	cfg.Step = 1.1 // only x=0
-	cfg.WarmupSlots, cfg.MeasureSlots, cfg.Backlog = 8000, 8000, 2048
+	cfg.WarmupSlots, cfg.MeasureSlots, cfg.Backlog = 25000, 25000, 2048
 	pts, err := Fig2f(cfg)
 	if err != nil {
 		t.Fatal(err)

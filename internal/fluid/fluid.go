@@ -90,6 +90,7 @@ func Solve(s *matching.Schedule, router routing.Router, tm *workload.Matrix) (*R
 			}
 		}
 	}
+	//sornlint:ignore floateq -- exact zero: no positive rate was ever added
 	if demandTotal == 0 {
 		return nil, fmt.Errorf("fluid: traffic matrix is empty")
 	}

@@ -1,0 +1,196 @@
+// Package lint is a small static-analysis framework, built only on the
+// standard library's go/ast, go/parser, and go/types, that enforces this
+// repository's determinism and correctness discipline. Every number the
+// repo produces (Table 1, Figure 2f, the ablation sweeps) is only
+// meaningful if simulation runs are bit-for-bit reproducible, so the
+// rules here reject the constructs that silently break reproducibility:
+// wall-clock time and global randomness in simulation packages,
+// package-level RNG state, order-sensitive iteration over maps, exact
+// floating-point equality, and dropped errors.
+//
+// The analyzers run over fully type-checked packages (see Loader), are
+// wired into tier-1 via the repository-root lint_test.go, and are
+// runnable standalone with `go run ./cmd/sornlint ./...`.
+//
+// A finding can be suppressed with an inline directive on the same line
+// or the line directly above it:
+//
+//	//sornlint:ignore maporder -- keys are sorted below
+//
+// The directive names exactly the rules it suppresses (comma-separated);
+// everything after " -- " is a free-form justification.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Msg, f.Rule)
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns every rule, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{NoDeterm, RNGDiscipline, MapOrder, FloatEq, DroppedErr}
+}
+
+// AnalyzerByName returns the named rule, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Pass is the per-package state handed to each analyzer.
+type Pass struct {
+	ModulePath string
+	PkgPath    string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+
+	testFiles map[*ast.File]bool
+	ignores   map[string]map[int]map[string]bool // filename -> line -> rule set
+	findings  *[]Finding
+}
+
+// IsTestFile reports whether f came from a _test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool { return p.testFiles[f] }
+
+// InternalPkg reports whether the package lives under <module>/internal/.
+func (p *Pass) InternalPkg() bool {
+	return strings.HasPrefix(p.PkgPath, p.ModulePath+"/internal/")
+}
+
+// Reportf records a finding unless an ignore directive suppresses it.
+func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if lines, ok := p.ignores[position.Filename]; ok {
+		for _, l := range []int{position.Line, position.Line - 1} {
+			if lines[l][rule] {
+				return
+			}
+		}
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:  position,
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreDirective is the magic comment prefix.
+const ignoreDirective = "//sornlint:ignore"
+
+// parseIgnores indexes every suppression directive in the pass's files.
+func (p *Pass) parseIgnores() {
+	p.ignores = make(map[string]map[int]map[string]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rules, ok := parseIgnoreComment(c.Text)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := p.ignores[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					p.ignores[pos.Filename] = byLine
+				}
+				set := byLine[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					byLine[pos.Line] = set
+				}
+				for _, r := range rules {
+					set[r] = true
+				}
+			}
+		}
+	}
+}
+
+// parseIgnoreComment extracts the rule names from one directive comment.
+func parseIgnoreComment(text string) ([]string, bool) {
+	if !strings.HasPrefix(text, ignoreDirective) {
+		return nil, false
+	}
+	rest := strings.TrimPrefix(text, ignoreDirective)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false
+	}
+	// Strip the optional " -- reason" trailer.
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	var rules []string
+	for _, field := range strings.Fields(rest) {
+		for _, r := range strings.Split(field, ",") {
+			if r != "" {
+				rules = append(rules, r)
+			}
+		}
+	}
+	return rules, len(rules) > 0
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		pass := &Pass{
+			ModulePath: pkg.ModulePath,
+			PkgPath:    pkg.Path,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			testFiles:  pkg.TestFiles,
+			findings:   &findings,
+		}
+		pass.parseIgnores()
+		for _, a := range analyzers {
+			a.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return findings
+}

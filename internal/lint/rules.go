@@ -1,0 +1,432 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// noderterm: no wall-clock time or ambient randomness in internal packages.
+// ---------------------------------------------------------------------------
+
+// NoDeterm forbids the ambient-nondeterminism escape hatches in
+// <module>/internal/... packages: calls to time.Now, time.Since, and
+// os.Getenv, and any import of math/rand (v1 or v2). Simulation code
+// must use virtual time and explicit internal/rng streams only.
+const noDetermName = "noderterm"
+
+var NoDeterm = &Analyzer{
+	Name: noDetermName,
+	Doc:  "forbid time.Now/time.Since/os.Getenv and math/rand in internal packages",
+	Run:  runNoDeterm,
+}
+
+var bannedCalls = map[string]string{
+	"time.Now":   "wall-clock time is nondeterministic; use virtual slot time",
+	"time.Since": "wall-clock time is nondeterministic; use virtual slot time",
+	"os.Getenv":  "environment lookups make runs irreproducible; thread configuration explicitly",
+}
+
+var bannedImports = map[string]string{
+	"math/rand":    "ambient randomness breaks reproducibility; thread an explicit *rng.RNG",
+	"math/rand/v2": "ambient randomness breaks reproducibility; thread an explicit *rng.RNG",
+}
+
+func runNoDeterm(p *Pass) {
+	if !p.InternalPkg() {
+		return
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := bannedImports[path]; ok {
+				p.Reportf(imp.Pos(), noDetermName, "import of %s in internal package: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			if why, ok := bannedCalls[fn.FullName()]; ok {
+				p.Reportf(call.Pos(), noDetermName, "call to %s in internal package: %s", fn.FullName(), why)
+			}
+			return true
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// rngdiscipline: no package-level RNG state.
+// ---------------------------------------------------------------------------
+
+// RNGDiscipline forbids package-level variables holding rng.RNG or
+// rng.Zipf state (directly or behind pointers/containers). Shared global
+// generator state couples otherwise-independent call sites, so the same
+// experiment yields different numbers depending on what ran before it;
+// stochastic functions must thread an explicit *rng.RNG parameter.
+const rngDisciplineName = "rngdiscipline"
+
+var RNGDiscipline = &Analyzer{
+	Name: rngDisciplineName,
+	Doc:  "forbid package-level RNG state; thread explicit *rng.RNG parameters",
+	Run:  runRNGDiscipline,
+}
+
+func runRNGDiscipline(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gen, ok := decl.(*ast.GenDecl)
+			if !ok || gen.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := p.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if holdsRNGState(obj.Type(), p.ModulePath, 0) {
+						p.Reportf(name.Pos(), rngDisciplineName,
+							"package-level variable %s holds RNG state (%s); thread an explicit *rng.RNG instead",
+							name.Name, obj.Type())
+					}
+				}
+			}
+		}
+	}
+}
+
+// holdsRNGState reports whether t is (or trivially contains) internal/rng
+// generator state.
+func holdsRNGState(t types.Type, modulePath string, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	switch u := t.(type) {
+	case *types.Pointer:
+		return holdsRNGState(u.Elem(), modulePath, depth+1)
+	case *types.Slice:
+		return holdsRNGState(u.Elem(), modulePath, depth+1)
+	case *types.Array:
+		return holdsRNGState(u.Elem(), modulePath, depth+1)
+	case *types.Map:
+		return holdsRNGState(u.Elem(), modulePath, depth+1)
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == modulePath+"/internal/rng" &&
+			(obj.Name() == "RNG" || obj.Name() == "Zipf") {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// maporder: no order-sensitive work inside a range over a map.
+// ---------------------------------------------------------------------------
+
+// MapOrder flags range statements over maps whose body does something
+// iteration-order-sensitive: appending to a slice, accumulating floating
+// point (addition is not associative), emitting output, or sending on a
+// channel. Go randomizes map order per run, so each of these makes the
+// result depend on the run. Iterate sorted keys instead, e.g. with
+// internal/sortedmap.Keys or sortedmap.Range.
+const mapOrderName = "maporder"
+
+var MapOrder = &Analyzer{
+	Name: mapOrderName,
+	Doc:  "forbid order-sensitive loop bodies when ranging over a map",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			if reason := orderSensitive(p, rs.Body); reason != "" {
+				p.Reportf(rs.Pos(), mapOrderName,
+					"range over map %s %s; map iteration order is random — iterate sorted keys (internal/sortedmap)",
+					exprString(p, rs.X), reason)
+			}
+			return true
+		})
+	}
+}
+
+// orderSensitive scans a map-range body for constructs whose result
+// depends on iteration order. Nested map ranges are skipped; they are
+// analyzed as their own range statements.
+func orderSensitive(p *Pass, body *ast.BlockStmt) string {
+	reason := ""
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(s.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					return false // reported on its own
+				}
+			}
+		case *ast.SendStmt:
+			reason = "sends on a channel"
+			return false
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range s.Lhs {
+					if isFloat(p.Info.TypeOf(lhs)) {
+						reason = "accumulates floating point (addition is not associative)"
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := s.Fun.(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					reason = "appends to a slice"
+					return false
+				}
+			}
+			if name := calleeFullName(p, s); name != "" && writesOutput(name) {
+				reason = "writes output"
+				return false
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+	return reason
+}
+
+// writesOutput reports whether the named function emits external or
+// buffered output whose ordering is observable.
+func writesOutput(fullName string) bool {
+	switch {
+	case strings.HasPrefix(fullName, "fmt.Print"),
+		strings.HasPrefix(fullName, "fmt.Fprint"),
+		strings.HasPrefix(fullName, "(*strings.Builder).Write"),
+		strings.HasPrefix(fullName, "(*bytes.Buffer).Write"):
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// floateq: no exact floating-point equality outside tests.
+// ---------------------------------------------------------------------------
+
+// FloatEq flags == and != between floating-point operands in non-test
+// files. Exact equality of computed floats silently depends on
+// evaluation order, compiler fusing, and platform; compare against a
+// tolerance instead (or suppress with a directive where exactness is
+// intentional, e.g. sentinel comparisons against literal constants).
+const floatEqName = "floateq"
+
+var FloatEq = &Analyzer{
+	Name: floatEqName,
+	Doc:  "forbid ==/!= between floating-point operands outside tests",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := p.Info.Types[be.X], p.Info.Types[be.Y]
+			if !isFloat(tx.Type) && !isFloat(ty.Type) {
+				return true
+			}
+			if tx.Value != nil && ty.Value != nil {
+				return true // constant-folded at compile time
+			}
+			p.Reportf(be.OpPos, floatEqName,
+				"floating-point %s comparison; use a tolerance, or suppress where exactness is intended", be.Op)
+			return true
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// droppederr: no silently ignored error returns.
+// ---------------------------------------------------------------------------
+
+// DroppedErr flags call statements that discard a returned error.
+// Writes to in-memory buffers and fmt printing to standard streams are
+// exempt (they cannot meaningfully fail).
+const droppedErrName = "droppederr"
+
+var DroppedErr = &Analyzer{
+	Name: droppedErrName,
+	Doc:  "forbid statements that drop a returned error",
+	Run:  runDroppedErr,
+}
+
+func runDroppedErr(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(p, call) || exemptErrDrop(p, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), droppedErrName,
+				"result of %s includes an error that is dropped; handle it or assign it explicitly",
+				calleeName(p, call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's result is, or ends with, error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return isErrorType(tv.Type)
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+// exemptErrDrop allowlists the conventional cannot-fail call sites.
+func exemptErrDrop(p *Pass, call *ast.CallExpr) bool {
+	name := calleeFullName(p, call)
+	if name == "" {
+		return false
+	}
+	switch {
+	case strings.HasPrefix(name, "(*strings.Builder)."),
+		strings.HasPrefix(name, "(*bytes.Buffer)."):
+		return true
+	case strings.HasPrefix(name, "fmt.Print"):
+		return true
+	case strings.HasPrefix(name, "fmt.Fprint"):
+		return fprintsToStdStream(p, call)
+	}
+	return false
+}
+
+// fprintsToStdStream reports whether a fmt.Fprint* call writes to
+// os.Stdout/os.Stderr or an in-memory buffer.
+func fprintsToStdStream(p *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	arg := ast.Unparen(call.Args[0])
+	if sel, ok := arg.(*ast.SelectorExpr); ok {
+		if v, ok := p.Info.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil && v.Pkg().Path() == "os" &&
+			(v.Name() == "Stdout" || v.Name() == "Stderr") {
+			return true
+		}
+	}
+	switch p.Info.TypeOf(arg).String() {
+	case "*strings.Builder", "*bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// shared helpers
+// ---------------------------------------------------------------------------
+
+// isFloat reports whether t's underlying type is float32 or float64.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0 && b.Info()&types.IsComplex == 0
+}
+
+// calleeFullName resolves a call to its callee's fully qualified name
+// ("time.Now", "(*strings.Builder).WriteString"), or "".
+func calleeFullName(p *Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn.FullName()
+		}
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return fn.FullName()
+		}
+	}
+	return ""
+}
+
+// calleeName renders the callee for a message, falling back to source text.
+func calleeName(p *Pass, call *ast.CallExpr) string {
+	if name := calleeFullName(p, call); name != "" {
+		return name
+	}
+	return exprString(p, call.Fun)
+}
+
+// exprString renders a (simple) expression for diagnostics.
+func exprString(p *Pass, e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(p, x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(p, x.X) + "[" + exprString(p, x.Index) + "]"
+	case *ast.CallExpr:
+		return exprString(p, x.Fun) + "(...)"
+	case *ast.BasicLit:
+		return x.Value
+	}
+	return "expression"
+}

@@ -1,0 +1,35 @@
+// Package fixture exercises the //sornlint:ignore directive: it must
+// suppress exactly the named rule, on its own line or the line above.
+package fixture
+
+func mayFail() error { return nil }
+
+// Suppressed is a maporder violation silenced by a directive above it.
+func Suppressed(m map[int]int) []int {
+	var out []int
+	//sornlint:ignore maporder -- ordering is irrelevant in this fixture
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// WrongRule names a different rule, so maporder must still fire.
+func WrongRule(m map[int]int) []int {
+	var out []int
+	//sornlint:ignore floateq -- wrong rule on purpose; must not silence maporder
+	for k := range m { // want:maporder
+		out = append(out, k)
+	}
+	return out
+}
+
+// SameLine is a droppederr violation silenced on its own line.
+func SameLine() {
+	mayFail() //sornlint:ignore droppederr -- fixture exercises same-line suppression
+}
+
+// Unsuppressed keeps the rule observable in this package.
+func Unsuppressed() {
+	mayFail() // want:droppederr
+}

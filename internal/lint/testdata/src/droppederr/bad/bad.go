@@ -1,0 +1,19 @@
+// Package fixture seeds droppederr violations: statements that discard
+// a returned error.
+package fixture
+
+import (
+	"fmt"
+	"os"
+)
+
+func mayFail() error { return nil }
+
+func sizeAndErr() (int, error) { return 0, nil }
+
+// Run drops every error in sight.
+func Run(w *os.File) {
+	mayFail()             // want:droppederr
+	sizeAndErr()          // want:droppederr
+	fmt.Fprintf(w, "out") // want:droppederr
+}

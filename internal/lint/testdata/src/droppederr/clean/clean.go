@@ -1,0 +1,25 @@
+// Package fixture shows the accepted error-handling styles: checked,
+// explicitly discarded, or written to sinks that cannot fail.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+// Run handles or visibly discards every error.
+func Run() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail()
+	fmt.Println("progress")
+	fmt.Fprintf(os.Stderr, "warning\n")
+	var b strings.Builder
+	b.WriteString("chunk")
+	fmt.Fprintf(&b, "formatted %d", 1)
+	return mayFail()
+}

@@ -1,0 +1,18 @@
+// Package fixture seeds floateq violations: exact equality between
+// floating-point operands in non-test code.
+package fixture
+
+// Same compares computed floats exactly.
+func Same(a, b float64) bool {
+	return a == b // want:floateq
+}
+
+// Missing scans with exact inequality on float32.
+func Missing(xs []float32, x float32) bool {
+	for _, v := range xs {
+		if v != x { // want:floateq
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+// Package fixture shows tolerance-based comparison, which floateq
+// accepts, alongside integer equality it never flags.
+package fixture
+
+import "math"
+
+const eps = 1e-9
+
+// Close compares within a tolerance.
+func Close(a, b float64) bool {
+	return math.Abs(a-b) < eps
+}
+
+// IntEq is integer equality; not a float comparison.
+func IntEq(a, b int) bool { return a == b }

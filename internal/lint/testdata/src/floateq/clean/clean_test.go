@@ -1,0 +1,5 @@
+package fixture
+
+// Exact float comparison is allowed in _test.go files, where expected
+// values are constructed to be exactly representable.
+func sameExactly(a, b float64) bool { return a == b }

@@ -1,0 +1,37 @@
+// Package fixture seeds maporder violations: order-sensitive work
+// inside ranges over maps.
+package fixture
+
+import "fmt"
+
+// Collect builds a slice in random map order.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want:maporder
+		out = append(out, k)
+	}
+	return out
+}
+
+// Total accumulates floats in random map order.
+func Total(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want:maporder
+		sum += v
+	}
+	return sum
+}
+
+// Dump prints in random map order.
+func Dump(m map[int]int) {
+	for k, v := range m { // want:maporder
+		fmt.Println(k, v)
+	}
+}
+
+// Feed sends in random map order.
+func Feed(m map[int]int, ch chan<- int) {
+	for k := range m { // want:maporder
+		ch <- k
+	}
+}

@@ -1,0 +1,35 @@
+// Package fixture shows order-insensitive and sorted map iteration,
+// which the maporder rule accepts.
+package fixture
+
+import "repro/internal/sortedmap"
+
+// Collect uses the shared sorted-key helper.
+func Collect(m map[string]int) []string {
+	return sortedmap.Keys(m)
+}
+
+// Total accumulates in ascending key order.
+func Total(m map[int]float64) float64 {
+	sum := 0.0
+	sortedmap.Range(m, func(_ int, v float64) { sum += v })
+	return sum
+}
+
+// Invert only writes another map; order cannot be observed.
+func Invert(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Count performs a pure reduction over ints; order cannot matter.
+func Count(m map[int]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

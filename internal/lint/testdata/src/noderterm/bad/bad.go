@@ -1,0 +1,18 @@
+// Package fixture seeds noderterm violations: ambient randomness,
+// wall-clock time, and environment lookups in an internal package.
+package fixture
+
+import (
+	"math/rand" // want:noderterm
+	"os"
+	"time"
+)
+
+// Snapshot reaches for every ambient-nondeterminism escape hatch the
+// rule bans.
+func Snapshot() (time.Time, string, int64) {
+	t := time.Now()           // want:noderterm
+	elapsed := time.Since(t)  // want:noderterm
+	home := os.Getenv("HOME") // want:noderterm
+	return t, home, int64(elapsed) + int64(rand.Int())
+}

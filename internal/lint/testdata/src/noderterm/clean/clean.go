@@ -1,0 +1,10 @@
+// Package fixture shows the sanctioned style: virtual slot time and an
+// explicitly threaded RNG stream.
+package fixture
+
+import "repro/internal/rng"
+
+// Draw advances virtual time by a seeded, reproducible amount.
+func Draw(r *rng.RNG, slot int64) int64 {
+	return slot + int64(r.Intn(16))
+}

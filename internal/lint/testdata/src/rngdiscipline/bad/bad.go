@@ -1,0 +1,14 @@
+// Package fixture seeds rngdiscipline violations: generator state held
+// in package-level variables.
+package fixture
+
+import "repro/internal/rng"
+
+var shared = rng.New(42) // want:rngdiscipline
+
+var zipfTable *rng.Zipf // want:rngdiscipline
+
+var streams []*rng.RNG // want:rngdiscipline
+
+// Draw silently couples every caller through the shared stream.
+func Draw() int { return shared.Intn(8) }

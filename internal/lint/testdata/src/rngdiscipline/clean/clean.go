@@ -1,0 +1,17 @@
+// Package fixture shows the sanctioned RNG style: streams are instance
+// or parameter scoped, never package globals.
+package fixture
+
+import "repro/internal/rng"
+
+// Sampler owns its stream; callers decide the seed.
+type Sampler struct{ r *rng.RNG }
+
+// NewSampler seeds a sampler explicitly.
+func NewSampler(seed uint64) *Sampler { return &Sampler{r: rng.New(seed)} }
+
+// Draw consumes the instance-scoped stream.
+func (s *Sampler) Draw(n int) int { return s.r.Intn(n) }
+
+// Roll threads the stream as a parameter.
+func Roll(r *rng.RNG) float64 { return r.Float64() }

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/sortedmap"
 )
 
 // Matching is a directed circuit assignment for one time slot: node s
@@ -140,12 +142,7 @@ func (s *Schedule) Neighbors(u int) []int {
 	for _, m := range s.Slots {
 		set[m[u]] = true
 	}
-	out := make([]int, 0, len(set))
-	for v := range set {
-		out = append(out, v)
-	}
-	sort.Ints(out)
-	return out
+	return sortedmap.Keys(set)
 }
 
 // FullCoverage reports whether every ordered pair (u, v), u ≠ v, is

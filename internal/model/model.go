@@ -147,6 +147,7 @@ func SORNQ(x float64) float64 {
 	if x < 0 || x > 1 {
 		panic(fmt.Sprintf("model: locality ratio %f outside [0,1]", x))
 	}
+	//sornlint:ignore floateq -- x = 1 exactly is the documented divergence point
 	if x == 1 {
 		return math.Inf(1)
 	}

@@ -154,6 +154,7 @@ func (r *RNG) Poisson(mean float64) int {
 // Norm returns a standard normal variate (Box–Muller, one value per call).
 func (r *RNG) Norm() float64 {
 	u1 := r.Float64()
+	//sornlint:ignore floateq -- rejects the exact 0 Float64 can return; log(0) guard
 	for u1 == 0 {
 		u1 = r.Float64()
 	}
@@ -222,6 +223,7 @@ func NewEmpiricalCDF(values, probs []float64) *EmpiricalCDF {
 			panic("rng: malformed empirical CDF (monotonicity)")
 		}
 	}
+	//sornlint:ignore floateq -- published CDFs end at the literal constant 1
 	if probs[len(probs)-1] != 1 {
 		panic("rng: empirical CDF must end at probability 1")
 	}
@@ -246,6 +248,7 @@ func (e *EmpiricalCDF) Sample(r *RNG) float64 {
 	}
 	p0, p1 := e.probs[lo-1], e.probs[lo]
 	v0, v1 := e.values[lo-1], e.values[lo]
+	//sornlint:ignore floateq -- guards the division below against exactly-equal knots
 	if p1 == p0 {
 		return v1
 	}

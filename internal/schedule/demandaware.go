@@ -63,6 +63,7 @@ func BuildSORNDemandAware(cfg DemandAwareConfig) (*SORN, error) {
 		return nil, fmt.Errorf("schedule: demand matrix is %d x ?, want %d", len(cfg.Demand), cfg.Nc)
 	}
 	floor := cfg.Floor
+	//sornlint:ignore floateq -- zero value means "unset", replaced by the default
 	if floor == 0 {
 		floor = 0.1
 	}

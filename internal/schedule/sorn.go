@@ -149,6 +149,7 @@ func OptimalQ(x float64) (q, r float64) {
 	if x < 0 || x > 1 {
 		panic(fmt.Sprintf("schedule: locality fraction %f outside [0,1]", x))
 	}
+	//sornlint:ignore floateq -- x = 1 exactly is the documented divergence point
 	if x == 1 {
 		return math.Inf(1), 0.5
 	}

@@ -1,0 +1,32 @@
+// Package sortedmap provides deterministic iteration over Go maps.
+//
+// Go randomizes map iteration order on purpose, so any loop over a map
+// that appends to a slice, accumulates floating point, or writes output
+// produces run-to-run nondeterminism — which this repository cannot
+// afford: every experiment must be bit-for-bit reproducible (see the
+// maporder rule in internal/lint). Whenever iteration order can matter,
+// range over Keys or use Range instead of ranging over the map directly.
+package sortedmap
+
+import (
+	"cmp"
+	"sort"
+)
+
+// Keys returns the keys of m in ascending order.
+func Keys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	//sornlint:ignore maporder -- the collected keys are sorted below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Range calls fn for every entry of m in ascending key order.
+func Range[K cmp.Ordered, V any](m map[K]V, fn func(K, V)) {
+	for _, k := range Keys(m) {
+		fn(k, m[k])
+	}
+}

@@ -1,0 +1,41 @@
+package sortedmap
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKeysSorted(t *testing.T) {
+	m := map[string]int{"deliver": 3, "alpha": 1, "circuit": 2, "bvn": 4}
+	want := []string{"alpha", "bvn", "circuit", "deliver"}
+	for i := 0; i < 50; i++ {
+		if got := Keys(m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKeysEmptyAndNil(t *testing.T) {
+	if got := Keys(map[int]int{}); len(got) != 0 {
+		t.Errorf("Keys(empty) = %v, want empty", got)
+	}
+	if got := Keys(map[int]int(nil)); len(got) != 0 {
+		t.Errorf("Keys(nil) = %v, want empty", got)
+	}
+}
+
+func TestRangeOrderAndPairs(t *testing.T) {
+	m := map[int]float64{7: 0.7, 1: 0.1, 3: 0.3}
+	var ks []int
+	var vs []float64
+	Range(m, func(k int, v float64) {
+		ks = append(ks, k)
+		vs = append(vs, v)
+	})
+	if !reflect.DeepEqual(ks, []int{1, 3, 7}) {
+		t.Errorf("Range keys = %v, want [1 3 7]", ks)
+	}
+	if !reflect.DeepEqual(vs, []float64{0.1, 0.3, 0.7}) {
+		t.Errorf("Range values = %v, want [0.1 0.3 0.7]", vs)
+	}
+}

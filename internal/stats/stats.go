@@ -10,6 +10,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/sortedmap"
 )
 
 // Summary accumulates a stream of float64 observations and reports count,
@@ -144,12 +146,7 @@ func (h *LogHistogram) Total() int64 { return h.total }
 
 // Buckets returns (lowerBound, count) pairs in increasing order.
 func (h *LogHistogram) Buckets() (bounds []float64, counts []int64) {
-	keys := make([]int, 0, len(h.counts))
-	for k := range h.counts {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	for _, k := range keys {
+	for _, k := range sortedmap.Keys(h.counts) {
 		bounds = append(bounds, math.Pow(2, float64(k)))
 		counts = append(counts, h.counts[k])
 	}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/matching"
 	"repro/internal/rng"
+	"repro/internal/sortedmap"
 )
 
 // Graph is a weighted directed graph over n nodes. Weights are bandwidth
@@ -54,20 +55,17 @@ func (g *Graph) Weight(u, v int) float64 { return g.adj[u][v] }
 // OutDegree returns the number of distinct out-neighbors of u.
 func (g *Graph) OutDegree(u int) int { return len(g.adj[u]) }
 
-// Neighbors calls fn for each out-neighbor of u with its weight.
+// Neighbors calls fn for each out-neighbor of u with its weight, in
+// ascending neighbor order so callers observe a deterministic sequence.
 func (g *Graph) Neighbors(u int, fn func(v int, w float64)) {
-	for v, w := range g.adj[u] {
-		fn(v, w)
-	}
+	sortedmap.Range(g.adj[u], fn)
 }
 
 // OutWeight returns the total outgoing weight of u; for a schedule-derived
 // graph this is 1 (every slot circuits u somewhere).
 func (g *Graph) OutWeight(u int) float64 {
 	sum := 0.0
-	for _, w := range g.adj[u] {
-		sum += w
-	}
+	sortedmap.Range(g.adj[u], func(_ int, w float64) { sum += w })
 	return sum
 }
 
@@ -83,7 +81,7 @@ func (g *Graph) BFS(src int) []int {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for v := range g.adj[u] {
+		for _, v := range sortedmap.Keys(g.adj[u]) {
 			if dist[v] < 0 {
 				dist[v] = dist[u] + 1
 				queue = append(queue, v)

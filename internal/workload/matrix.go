@@ -45,6 +45,7 @@ func (m *Matrix) Validate() error {
 			if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
 				return fmt.Errorf("workload: rate[%d][%d] = %f invalid", s, d, r)
 			}
+			//sornlint:ignore floateq -- validates an exact-zero diagonal
 			if s == d && r != 0 {
 				return fmt.Errorf("workload: nonzero self traffic at node %d", s)
 			}
@@ -113,6 +114,7 @@ func (m *Matrix) IntraFraction(cl *schedule.Cliques) float64 {
 			}
 		}
 	}
+	//sornlint:ignore floateq -- exact zero: the empty-matrix sentinel
 	if total == 0 {
 		return 0
 	}

@@ -1,0 +1,44 @@
+// TestSornlintClean wires the determinism & correctness analyzers
+// (internal/lint) into tier-1: `go test ./...` fails on any rule
+// violation anywhere in the module, so a time.Now in a simulation
+// package or a float accumulated in map order can't land unnoticed.
+// The same analysis is runnable standalone:
+//
+//	go run ./cmd/sornlint ./...
+package repro_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestSornlintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := lint.Run(pkgs, lint.Analyzers())
+	for _, f := range findings {
+		t.Error(f.String())
+	}
+	if len(findings) > 0 {
+		t.Logf("%d finding(s); fix them or add a justified //sornlint:ignore directive", len(findings))
+	}
+}

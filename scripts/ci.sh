@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# ci.sh is the canonical pre-merge check: everything main must pass.
+#
+#   ./scripts/ci.sh
+#
+# Steps, in order, each fatal:
+#   1. go build ./...        -- the module compiles
+#   2. go vet ./...          -- stdlib vet findings
+#   3. sornlint              -- this repo's determinism & correctness
+#                               rules (internal/lint); see DESIGN.md
+#   4. go test ./...         -- tier-1 tests (includes the lint gate
+#                               again via lint_test.go)
+#   5. go test -race ./...   -- the race detector over the same suite;
+#                               goroutine fan-out in internal/experiments
+#                               must be both race-free and deterministic
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== sornlint ./..."
+go run ./cmd/sornlint ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== ci.sh: all checks passed"
