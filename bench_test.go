@@ -7,6 +7,11 @@
 // Metric conventions: thpt_* are throughput fractions (the paper's r),
 // lat_us_* are minimum worst-case latencies in microseconds, blast_* are
 // affected-pair fractions.
+//
+// The netsim-heavy subset (BenchmarkFigure2fSimulated plus the
+// internal/netsim micro-benchmarks) is tracked across PRs in the
+// BENCH_netsim.json ledger — record a labeled run with
+// ./scripts/bench.sh (see EXPERIMENTS.md, "Benchmarking").
 package repro_test
 
 import (

@@ -1,0 +1,164 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// labeled entry of a JSON benchmark ledger (BENCH_netsim.json by
+// default), so every PR can commit before/after numbers for the
+// simulator hot path next to the code that changed them.
+//
+// Usage:
+//
+//	go test -run NONE -bench . -benchmem | benchjson -label after-pr2
+//
+// The ledger holds one entry per label, in insertion order; re-running
+// with an existing label replaces that entry. For benchmarks repeated
+// with -count, the line with the lowest ns/op wins (the least-noise
+// run). Custom b.ReportMetric units land under "metrics". No
+// timestamps or host-volatile fields are recorded: identical bench
+// output must produce an identical file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's numbers within a run.
+type Bench struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run is one labeled invocation of the benchmark suite.
+type Run struct {
+	Label string            `json:"label"`
+	CPU   string            `json:"cpu,omitempty"`
+	Bench map[string]*Bench `json:"bench"`
+}
+
+// Ledger is the whole JSON file: runs in insertion order.
+type Ledger struct {
+	Runs []*Run `json:"runs"`
+}
+
+// benchLine matches "BenchmarkName[-procs] <iters> <value unit>..."
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+func main() {
+	label := flag.String("label", "", "label for this run (required)")
+	out := flag.String("out", "BENCH_netsim.json", "ledger file to update")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
+		os.Exit(2)
+	}
+	run, err := parse(os.Stdin, *label)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(run.Bench) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	if err := merge(*out, run); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: recorded %d benchmarks under label %q in %s\n", len(run.Bench), *label, *out)
+}
+
+// parse reads `go test -bench` output and keeps, per benchmark, the
+// repetition with the lowest ns/op.
+func parse(r io.Reader, label string) (*Run, error) {
+	run := &Run{Label: label, Bench: map[string]*Bench{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			run.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b, err := parseFields(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", line, err)
+		}
+		if prev, ok := run.Bench[m[1]]; !ok || b.NsPerOp < prev.NsPerOp {
+			run.Bench[m[1]] = b
+		}
+	}
+	return run, sc.Err()
+}
+
+// parseFields decodes the "<value> <unit>" pairs after the iteration
+// count: ns/op, B/op, allocs/op, and any custom metric units.
+func parseFields(rest string) (*Bench, error) {
+	f := strings.Fields(rest)
+	if len(f)%2 != 0 {
+		return nil, fmt.Errorf("odd value/unit fields %q", rest)
+	}
+	b := &Bench{}
+	for i := 0; i < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("value %q: %w", f[i], err)
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, nil
+}
+
+// merge loads the ledger (if any), replaces or appends the run by
+// label, and writes the file back.
+func merge(path string, run *Run) error {
+	var ledger Ledger
+	if data, err := os.ReadFile(path); err == nil {
+		// A zero-length file (mktemp, touch) is an empty ledger.
+		if len(data) > 0 {
+			if err := json.Unmarshal(data, &ledger); err != nil {
+				return fmt.Errorf("existing %s: %w", path, err)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	replaced := false
+	for i, r := range ledger.Runs {
+		if r.Label == run.Label {
+			ledger.Runs[i] = run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		ledger.Runs = append(ledger.Runs, run)
+	}
+	data, err := json.MarshalIndent(&ledger, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

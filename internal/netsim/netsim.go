@@ -86,39 +86,62 @@ func (f *FlowState) Lost() int { return f.lost }
 func (f *FlowState) Endpoints() (src, dst int) { return f.src, f.dst }
 
 // cell is one port-slot of data in flight. Waypoints are the nodes after
-// the source; idx points at the next one.
+// the source; idx points at the next one. The flow is referenced by its
+// index into Sim.flows rather than by pointer, keeping the struct
+// pointer-free: the n² virtual output queues then cost the garbage
+// collector no scan work and their writes no barriers.
 type cell struct {
-	flow      *FlowState
+	flow      int32
 	waypoints [maxWaypoints]int16
 	n, idx    int8
 	fresh     bool // still queued at its source, never transmitted
 	injected  int64
 }
 
-// fifo is a slice-backed queue of cells.
+// fifo is a power-of-two circular buffer of cells: pushes and pops are
+// single indexed writes/reads with no compaction copies, and the buffer
+// reallocates only when a queue outgrows its high-water mark.
 type fifo struct {
-	buf  []cell
-	head int
+	buf        []cell
+	head, tail uint32 // monotonically increasing; position is index & (len-1)
 }
 
-func (f *fifo) push(c cell) { f.buf = append(f.buf, c) }
+func (f *fifo) push(c cell) {
+	if int(f.tail-f.head) == len(f.buf) {
+		f.grow()
+	}
+	f.buf[f.tail&uint32(len(f.buf)-1)] = c
+	f.tail++
+}
+
+// grow doubles the buffer, linearizing the queue to the front.
+func (f *fifo) grow() {
+	old := len(f.buf)
+	size := old * 2
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]cell, size)
+	if old > 0 {
+		h := f.head & uint32(old-1)
+		n := copy(buf, f.buf[h:])
+		copy(buf[n:], f.buf[:h])
+	}
+	f.buf = buf
+	f.tail -= f.head
+	f.head = 0
+}
 
 func (f *fifo) pop() (cell, bool) {
-	if f.head >= len(f.buf) {
+	if f.head == f.tail {
 		return cell{}, false
 	}
-	c := f.buf[f.head]
+	c := f.buf[f.head&uint32(len(f.buf)-1)]
 	f.head++
-	// Reclaim space once the consumed prefix dominates.
-	if f.head > 64 && f.head*2 >= len(f.buf) {
-		n := copy(f.buf, f.buf[f.head:])
-		f.buf = f.buf[:n]
-		f.head = 0
-	}
 	return c, true
 }
 
-func (f *fifo) len() int { return len(f.buf) - f.head }
+func (f *fifo) len() int { return int(f.tail - f.head) }
 
 // arrival is a cell in flight toward a node.
 type arrival struct {
@@ -131,7 +154,12 @@ type Stats struct {
 	DeliveredCells int64 // final-hop deliveries
 	InjectedCells  int64
 	SentCells      int64 // link transmissions (all hops)
-	IdleSlots      int64 // node-plane-slots with an active circuit but no cell
+	// IdleSlots counts node-plane-slots in which a live node had an
+	// active circuit but no cell queued for it — whether or not other
+	// cells were queued for different circuits. Self-circuit slots
+	// (which a validated schedule cannot contain) would be excluded,
+	// since the node could never transmit on them.
+	IdleSlots int64
 	LostCells      int64 // dropped by failed links/nodes
 	DroppedCells   int64 // dropped by full queues (QueueLimit)
 	MeasuredSlots  int64
@@ -181,12 +209,27 @@ type Sim struct {
 	planes    int
 	offsets   []int64 // per-plane phase offset into the schedule
 	rng       *rng.RNG
+	// latRng drives latency sampling on its own stream, so enabling or
+	// tuning sampling never perturbs the traffic the workload stream
+	// (rng) generates.
+	latRng     *rng.RNG
+	sampleProb float64
 
 	voq       []fifo      // n*n queues, index u*n+next
 	backlog   []int64     // queued cells per node (excludes in-flight)
 	fresh     []int64     // never-transmitted cells queued per source
 	freshPair []int64     // never-transmitted cells per (src,dst) pair
 	ring      [][]arrival // delay line, indexed slot % len
+	routeBuf  routing.Route
+
+	// Deficit worklist for per-pair saturation: when trackPairs is on,
+	// every (src,dst) pair whose fresh-cell count drops is pushed onto
+	// dirtyPairs (deduplicated by dirtyMark) so RunSaturated tops up only
+	// pairs that can actually be short, instead of scanning all n² pairs
+	// every slot.
+	trackPairs bool
+	dirtyPairs []int32
+	dirtyMark  []bool
 
 	flows      []*FlowState
 	nextFlow   int
@@ -194,7 +237,7 @@ type Sim struct {
 	stats      Stats
 	hasCircuit []bool // u*n+v: schedule ever circuits u→v
 
-	failedLink map[int64]bool // u*n+v circuits that drop transmissions
+	failedLink []bool // u*n+v circuits that drop transmissions; nil until FailLink
 	failedNode []bool
 }
 
@@ -227,40 +270,48 @@ func New(cfg Config) (*Sim, error) {
 	}
 	prop := (cfg.PropNS + cfg.SlotNS - 1) / cfg.SlotNS
 	s := &Sim{
-		cfg:        cfg,
-		n:          n,
-		sched:      cfg.Schedule,
-		router:     cfg.Router,
-		propSlots:  prop,
-		planes:     cfg.Planes,
-		rng:        rng.New(cfg.Seed),
+		cfg:       cfg,
+		n:         n,
+		sched:     cfg.Schedule,
+		router:    cfg.Router,
+		propSlots: prop,
+		planes:    cfg.Planes,
+		rng:       rng.New(cfg.Seed),
+		// The xor constant just decorrelates the two seeds; splitmix64
+		// inside rng.New takes care of the rest.
+		latRng:     rng.New(cfg.Seed ^ 0x6c61745f73616d70),
 		voq:        make([]fifo, n*n),
 		backlog:    make([]int64, n),
 		fresh:      make([]int64, n),
 		freshPair:  make([]int64, n*n),
 		ring:       make([][]arrival, prop+1),
 		failedNode: make([]bool, n),
-		failedLink: make(map[int64]bool),
 	}
-	s.hasCircuit = circuitMap(cfg.Schedule)
+	if cfg.LatencySampleEvery > 0 {
+		s.sampleProb = 1 / float64(cfg.LatencySampleEvery)
+	}
+	s.hasCircuit = matching.CircuitSet(cfg.Schedule)
 	s.stats.Planes = cfg.Planes
-	period := int64(cfg.Schedule.Period())
-	for p := 0; p < cfg.Planes; p++ {
-		s.offsets = append(s.offsets, int64(p)*period/int64(cfg.Planes))
-	}
+	s.offsets = planeOffsets(int64(cfg.Schedule.Period()), int64(cfg.Planes))
 	return s, nil
 }
 
-// circuitMap builds the u→v existence bitmap for a schedule.
-func circuitMap(sched *matching.Schedule) []bool {
-	n := sched.N
-	has := make([]bool, n*n)
-	for _, m := range sched.Slots {
-		for u, v := range m {
-			has[u*n+v] = true
+// planeOffsets phase-staggers `planes` copies of a period-P schedule.
+// When planes <= period, the offsets floor(p·P/planes) are strictly
+// increasing, so every plane gets a distinct phase even when planes does
+// not divide the period. With more planes than slots, distinct phases
+// are impossible (pigeonhole); the remainder is round-robin-staggered so
+// the per-phase plane counts differ by at most one.
+func planeOffsets(period, planes int64) []int64 {
+	out := make([]int64, planes)
+	for p := int64(0); p < planes; p++ {
+		if planes <= period {
+			out[p] = p * period / planes
+		} else {
+			out[p] = p % period
 		}
 	}
-	return has
+	return out
 }
 
 // Slot returns the current absolute slot.
@@ -293,8 +344,15 @@ func (s *Sim) Drained() bool { return s.Backlog() == 0 && s.InFlight() == 0 }
 // StartMeasuring begins counting deliveries/injections (after warmup).
 func (s *Sim) StartMeasuring() { s.measuring = true }
 
-// FailLink makes the circuit u→v drop every transmission.
-func (s *Sim) FailLink(u, v int) { s.failedLink[int64(u)*int64(s.n)+int64(v)] = true }
+// FailLink makes the circuit u→v drop every transmission. The failure
+// bitmap is allocated lazily so fault-free simulations (the common case)
+// skip the per-transmission lookup entirely.
+func (s *Sim) FailLink(u, v int) {
+	if s.failedLink == nil {
+		s.failedLink = make([]bool, s.n*s.n)
+	}
+	s.failedLink[u*s.n+v] = true
+}
 
 // FailNode makes node u neither transmit nor forward (deliveries to u as
 // final destination still count as losses — cells vanish).
@@ -310,12 +368,14 @@ func (s *Sim) InjectFlow(src, dst, size int) *FlowState {
 	s.nextFlow++
 	f := &FlowState{id: s.nextFlow, src: src, dst: dst, size: size, arrival: s.slot, done: -1}
 	s.flows = append(s.flows, f)
+	fi := int32(len(s.flows) - 1)
 	s.fresh[src] += int64(size)
 	s.freshPair[src*s.n+dst] += int64(size)
 	for i := 0; i < size; i++ {
-		p := s.router.Route(src, dst, int(s.slot)+i, s.rng)
+		p := s.router.RouteInto(s.routeBuf[:0], src, dst, int(s.slot)+i, s.rng)
+		s.routeBuf = p
 		var c cell
-		c.flow = f
+		c.flow = fi
 		c.fresh = true
 		c.injected = s.slot
 		c.n = int8(len(p) - 1)
@@ -330,16 +390,29 @@ func (s *Sim) InjectFlow(src, dst, size int) *FlowState {
 	return f
 }
 
+// noteFreshConsumed updates the fresh-cell accounting when a cell leaves
+// its source (transmitted or dropped at injection) and, under per-pair
+// saturation, pushes the pair onto the deficit worklist.
+func (s *Sim) noteFreshConsumed(u, dst int) {
+	s.fresh[u]--
+	pair := u*s.n + dst
+	s.freshPair[pair]--
+	if s.trackPairs && !s.dirtyMark[pair] {
+		s.dirtyMark[pair] = true
+		s.dirtyPairs = append(s.dirtyPairs, int32(pair))
+	}
+}
+
 // enqueue places a cell into node u's VOQ for its next waypoint,
 // dropping it if the queue is at its limit.
 func (s *Sim) enqueue(u int, c cell) {
 	next := int(c.waypoints[c.idx])
 	q := &s.voq[u*s.n+next]
 	if s.cfg.QueueLimit > 0 && q.len() >= s.cfg.QueueLimit {
-		c.flow.lost++
+		f := s.flows[c.flow]
+		f.lost++
 		if c.fresh {
-			s.fresh[u]--
-			s.freshPair[u*s.n+c.flow.dst]--
+			s.noteFreshConsumed(u, f.dst)
 		}
 		if s.measuring {
 			s.stats.DroppedCells++
@@ -362,29 +435,30 @@ func (s *Sim) Step() {
 	// 2. Each node transmits one cell per plane on that plane's active
 	// circuit. Planes run the same schedule phase-staggered.
 	period := int64(s.sched.Period())
+	landAt := (s.slot + s.propSlots) % int64(len(s.ring))
+	n := s.n
 	for p := 0; p < s.planes; p++ {
 		m := s.sched.Slots[(s.slot+s.offsets[p])%period]
-		for u := 0; u < s.n; u++ {
+		for u := 0; u < n; u++ {
 			if s.failedNode[u] {
 				continue
 			}
 			v := m[u]
-			q := &s.voq[u*s.n+v]
+			q := &s.voq[u*n+v]
 			c, ok := q.pop()
 			if !ok {
-				if s.measuring && s.backlog[u] > 0 {
+				if s.measuring && u != v {
 					s.stats.IdleSlots++
 				}
 				continue
 			}
 			s.backlog[u]--
 			if c.fresh {
-				s.fresh[u]--
-				s.freshPair[u*s.n+c.flow.dst]--
+				s.noteFreshConsumed(u, s.flows[c.flow].dst)
 				c.fresh = false
 			}
-			if s.failedLink[int64(u)*int64(s.n)+int64(v)] || s.failedNode[v] {
-				c.flow.lost++
+			if s.failedNode[v] || (s.failedLink != nil && s.failedLink[u*n+v]) {
+				s.flows[c.flow].lost++
 				if s.measuring {
 					s.stats.LostCells++
 				}
@@ -393,8 +467,7 @@ func (s *Sim) Step() {
 			if s.measuring {
 				s.stats.SentCells++
 			}
-			at := (s.slot + s.propSlots) % int64(len(s.ring))
-			s.ring[at] = append(s.ring[at], arrival{c: c, at: int16(v)})
+			s.ring[landAt] = append(s.ring[landAt], arrival{c: c, at: int16(v)})
 		}
 	}
 
@@ -409,11 +482,16 @@ func (s *Sim) land(v int, c cell) {
 	c.idx++
 	if c.idx >= c.n {
 		// Final destination.
-		f := c.flow
+		f := s.flows[c.flow]
 		f.delivered++
 		if s.measuring {
 			s.stats.DeliveredCells++
-			if k := s.cfg.LatencySampleEvery; k > 0 && s.stats.DeliveredCells%int64(k) == 0 {
+			// Deterministic Bernoulli sampling at rate 1/k. Counting
+			// every k-th delivery phase-locks with a period-P schedule
+			// whenever k and P share factors, systematically over- or
+			// under-sampling some circuits; an independent coin flip per
+			// delivery cannot. k == 1 skips the draw and samples all.
+			if k := s.cfg.LatencySampleEvery; k > 0 && (k == 1 || s.latRng.Float64() < s.sampleProb) {
 				lat := float64(s.slot - c.injected)
 				s.stats.LatencySlots.Add(lat)
 				s.stats.LatencyByHops[c.n].Add(lat)
@@ -493,30 +571,76 @@ func (s *Sim) RunSaturated(sc SaturationConfig) (*Stats, error) {
 	}
 	end := s.slot + sc.WarmupSlots + sc.MeasureSlots
 	measureAt := s.slot + sc.WarmupSlots
+	if sc.PerPairBacklog > 0 {
+		return s.runSaturatedPerPair(sc, measureAt, end)
+	}
+	// Per-node saturation. The eligible sources are computed once up
+	// front: RowSum is an O(n) scan and failures cannot change mid-run,
+	// so re-checking both for every node every slot is pure overhead.
+	active := make([]int, 0, s.n)
+	for u := 0; u < s.n; u++ {
+		if !s.failedNode[u] && sc.TM.RowSum(u) > 0 {
+			active = append(active, u)
+		}
+	}
 	for s.slot < end {
 		if s.slot == measureAt {
 			s.StartMeasuring()
 		}
-		for u := 0; u < s.n; u++ {
-			if s.failedNode[u] || sc.TM.RowSum(u) <= 0 {
-				continue
-			}
-			if sc.PerPairBacklog > 0 {
-				for d := 0; d < s.n; d++ {
-					if sc.TM.Rates[u][d] <= 0 || s.failedNode[d] {
-						continue
-					}
-					for s.freshPair[u*s.n+d] < sc.PerPairBacklog {
-						s.InjectFlow(u, d, sc.Size.Sample(s.rng))
-					}
-				}
-				continue
-			}
+		for _, u := range active {
 			for s.fresh[u] < sc.TargetBacklog {
 				dst := sc.TM.SampleDest(u, s.rng)
 				s.InjectFlow(u, dst, sc.Size.Sample(s.rng))
 			}
 		}
+		s.Step()
+	}
+	return &s.stats, nil
+}
+
+// runSaturatedPerPair drives per-pair saturation with a deficit
+// worklist: a pair is (re-)examined only when one of its fresh cells
+// left the source since the last top-up — initially every eligible pair,
+// afterwards whatever the transmit loop consumed. This replaces the
+// O(n²)-per-slot scan over all pairs with work proportional to the
+// number of cells actually transmitted.
+func (s *Sim) runSaturatedPerPair(sc SaturationConfig, measureAt, end int64) (*Stats, error) {
+	s.trackPairs = true
+	defer func() { s.trackPairs = false }()
+	if s.dirtyMark == nil {
+		s.dirtyMark = make([]bool, s.n*s.n)
+	}
+	for u := 0; u < s.n; u++ {
+		if s.failedNode[u] {
+			continue
+		}
+		for d := 0; d < s.n; d++ {
+			if sc.TM.Rates[u][d] <= 0 || s.failedNode[d] {
+				continue
+			}
+			pair := u*s.n + d
+			if !s.dirtyMark[pair] {
+				s.dirtyMark[pair] = true
+				s.dirtyPairs = append(s.dirtyPairs, int32(pair))
+			}
+		}
+	}
+	for s.slot < end {
+		if s.slot == measureAt {
+			s.StartMeasuring()
+		}
+		// Indexed loop: top-ups whose cells are dropped at injection
+		// (QueueLimit) re-mark their pair, growing the worklist while it
+		// drains — matching the retry the per-slot scan used to do.
+		for i := 0; i < len(s.dirtyPairs); i++ {
+			pair := int(s.dirtyPairs[i])
+			s.dirtyMark[pair] = false
+			u, d := pair/s.n, pair%s.n
+			for s.freshPair[pair] < sc.PerPairBacklog {
+				s.InjectFlow(u, d, sc.Size.Sample(s.rng))
+			}
+		}
+		s.dirtyPairs = s.dirtyPairs[:0]
 		s.Step()
 	}
 	return &s.stats, nil
@@ -539,12 +663,8 @@ func (s *Sim) Reconfigure(sched *matching.Schedule, router routing.Router) error
 	}
 	s.sched = sched
 	s.router = router
-	s.hasCircuit = circuitMap(sched)
-	s.offsets = s.offsets[:0]
-	period := int64(sched.Period())
-	for p := 0; p < s.planes; p++ {
-		s.offsets = append(s.offsets, int64(p)*period/int64(s.planes))
-	}
+	s.hasCircuit = matching.CircuitSet(sched)
+	s.offsets = planeOffsets(int64(sched.Period()), int64(s.planes))
 
 	// Re-route queued cells: each keeps its flow identity but gets a
 	// fresh path from its current node. In-flight cells are re-routed by
@@ -571,14 +691,15 @@ func (s *Sim) Reconfigure(sched *matching.Schedule, router routing.Router) error
 
 // rerouteFrom recomputes a cell's remaining path from node u.
 func (s *Sim) rerouteFrom(u int, c cell) {
-	dst := c.flow.dst
+	dst := s.flows[c.flow].dst
 	if u == dst {
 		// Shouldn't happen (cells at their destination are delivered on
 		// landing), but guard anyway.
 		s.land(u, cell{flow: c.flow, n: 1, idx: 1, injected: c.injected})
 		return
 	}
-	p := s.router.Route(u, dst, int(s.slot), s.rng)
+	p := s.router.RouteInto(s.routeBuf[:0], u, dst, int(s.slot), s.rng)
+	s.routeBuf = p
 	c.n = int8(len(p) - 1)
 	c.idx = 0
 	for h := 1; h < len(p); h++ {
@@ -631,7 +752,7 @@ func (s *Sim) ReconfigureGraceful(sched *matching.Schedule, router routing.Route
 	if sched.N != s.n {
 		return 0, 0, fmt.Errorf("netsim: new schedule over %d nodes, sim over %d", sched.N, s.n)
 	}
-	newHas := circuitMap(sched)
+	newHas := matching.CircuitSet(sched)
 	removedBacklog := func() int64 {
 		total := int64(0)
 		for u := 0; u < s.n; u++ {

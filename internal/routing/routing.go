@@ -39,6 +39,12 @@ type Router interface {
 	// absolute time slot at injection, used by load-balancing hops that
 	// take the "first available" circuit; r supplies randomness.
 	Route(src, dst, slot int, r *rng.RNG) Route
+	// RouteInto is the allocation-free fast path of Route: it appends the
+	// same hop sequence to buf (which may be nil, or a zero-length reused
+	// buffer) and returns the extended slice. The slotted simulator calls
+	// it once per injected cell, so implementations must not allocate
+	// beyond growing buf.
+	RouteInto(buf Route, src, dst, slot int, r *rng.RNG) Route
 	// Paths calls fn for every path of the time-averaged path
 	// distribution with its probability (summing to 1 per src→dst pair).
 	Paths(src, dst int, fn func(path Route, prob float64))
@@ -78,7 +84,12 @@ func (d *Direct) MaxHops() int { return 1 }
 
 // Route implements Router.
 func (d *Direct) Route(src, dst, slot int, r *rng.RNG) Route {
-	return Route{src, dst}
+	return d.RouteInto(nil, src, dst, slot, r)
+}
+
+// RouteInto implements Router.
+func (d *Direct) RouteInto(buf Route, src, dst, slot int, r *rng.RNG) Route {
+	return append(buf, src, dst)
 }
 
 // Paths implements Router.
@@ -113,10 +124,15 @@ func (v *VLB) MaxHops() int { return 2 }
 // Route implements Router. The load-balancing hop uses the circuit active
 // at the injection slot (zero intrinsic wait).
 func (v *VLB) Route(src, dst, slot int, r *rng.RNG) Route {
+	return v.RouteInto(nil, src, dst, slot, r)
+}
+
+// RouteInto implements Router.
+func (v *VLB) RouteInto(buf Route, src, dst, slot int, r *rng.RNG) Route {
 	w := v.compiled.Schedule().DestAt(src, slot)
-	p := Route{src}
-	p = appendHop(p, w)
-	return appendHop(p, dst)
+	buf = append(buf, src)
+	buf = appendHop(buf, w)
+	return appendHop(buf, dst)
 }
 
 // Paths implements Router: the intermediate is uniform over the n−1
@@ -170,10 +186,15 @@ func (o *ORN) digitPath(p Route, target int) Route {
 
 // Route implements Router.
 func (o *ORN) Route(src, dst, slot int, r *rng.RNG) Route {
+	return o.RouteInto(nil, src, dst, slot, r)
+}
+
+// RouteInto implements Router.
+func (o *ORN) RouteInto(buf Route, src, dst, slot int, r *rng.RNG) Route {
 	w := r.Intn(o.orn.N)
-	p := Route{src}
-	p = o.digitPath(p, w)
-	return o.digitPath(p, dst)
+	buf = append(buf, src)
+	buf = o.digitPath(buf, w)
+	return o.digitPath(buf, dst)
 }
 
 // Paths implements Router: intermediates are uniform over all N nodes.
@@ -195,11 +216,55 @@ func (o *ORN) Paths(src, dst int, fn func(Route, float64)) {
 type SORN struct {
 	s        *schedule.SORN
 	compiled *matching.Compiled
+	// intraNext[u*period+t] is the destination of u's first intra-clique
+	// circuit at or after phase t (wrapping around the period), or -1 when
+	// u's clique is a singleton and the load-balancing hop degenerates to
+	// u itself. Precomputed once so the per-packet "first available"
+	// lookup is O(1) instead of a linear DestAt scan over the period.
+	intraNext []int32
+	period    int
 }
 
 // NewSORN builds the router for a built SORN schedule.
 func NewSORN(s *schedule.SORN) *SORN {
-	return &SORN{s: s, compiled: matching.Compile(s.Schedule)}
+	r := &SORN{s: s, compiled: matching.Compile(s.Schedule)}
+	r.buildIntraIndex()
+	return r
+}
+
+// buildIntraIndex precomputes the first-available intra-clique circuit
+// for every (node, phase). Two backward passes over the period: the
+// first seeds the wrap-around, the second records the answers.
+func (s *SORN) buildIntraIndex() {
+	cl := s.s.Cliques
+	sched := s.s.Schedule
+	p := sched.Period()
+	n := sched.N
+	s.period = p
+	s.intraNext = make([]int32, n*p)
+	for u := 0; u < n; u++ {
+		row := s.intraNext[u*p : (u+1)*p]
+		if cl.Size(cl.CliqueOf(u)) == 1 {
+			for t := range row {
+				row[t] = -1
+			}
+			continue
+		}
+		next := int32(-1)
+		for t := 2*p - 1; t >= 0; t-- {
+			if d := sched.Slots[t%p][u]; cl.SameClique(u, d) {
+				next = int32(d)
+			}
+			if t < p {
+				row[t] = next
+			}
+		}
+		if next < 0 {
+			// A clique of size >= 2 always has intra slots; reaching here
+			// means the schedule was built inconsistently.
+			panic("routing: SORN schedule has no intra-clique circuit")
+		}
+	}
 }
 
 // Name implements Router.
@@ -226,39 +291,32 @@ func (s *SORN) landing(w, targetClique int) int {
 // available intra-clique circuit at the injection slot; per the paper it
 // adds effectively zero intrinsic latency.
 func (s *SORN) Route(src, dst, slot int, r *rng.RNG) Route {
+	return s.RouteInto(nil, src, dst, slot, r)
+}
+
+// RouteInto implements Router.
+func (s *SORN) RouteInto(buf Route, src, dst, slot int, r *rng.RNG) Route {
 	cl := s.s.Cliques
-	if cl.SameClique(src, dst) {
-		w := s.firstAvailableIntra(src, slot)
-		p := Route{src}
-		p = appendHop(p, w)
-		return appendHop(p, dst)
-	}
 	w := s.firstAvailableIntra(src, slot)
+	buf = append(buf, src)
+	buf = appendHop(buf, w)
+	if cl.SameClique(src, dst) {
+		return appendHop(buf, dst)
+	}
 	y := s.landing(w, cl.CliqueOf(dst))
-	p := Route{src}
-	p = appendHop(p, w)
-	p = appendHop(p, y)
-	return appendHop(p, dst)
+	buf = appendHop(buf, y)
+	return appendHop(buf, dst)
 }
 
 // firstAvailableIntra returns the destination of src's next intra-clique
 // circuit at or after slot; when the clique is a singleton it returns src
 // (the load-balancing hop degenerates to a no-op).
 func (s *SORN) firstAvailableIntra(src, slot int) int {
-	cl := s.s.Cliques
-	if cl.Size(cl.CliqueOf(src)) == 1 {
+	d := s.intraNext[src*s.period+slot%s.period]
+	if d < 0 {
 		return src
 	}
-	period := s.s.Schedule.Period()
-	for t := slot; t < slot+period; t++ {
-		d := s.s.Schedule.DestAt(src, t)
-		if cl.SameClique(src, d) {
-			return d
-		}
-	}
-	// A clique of size >= 2 always has intra slots; reaching here means
-	// the schedule was built inconsistently.
-	panic("routing: SORN schedule has no intra-clique circuit")
+	return int(d)
 }
 
 // Paths implements Router. The load-balancing hop is uniform over the

@@ -379,3 +379,120 @@ func TestSORNRouterOverDemandAwareSchedules(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// routersUnderTest builds one router of each scheme over 16 nodes, for
+// tests that must hold across every Router implementation.
+func routersUnderTest(t *testing.T) []Router {
+	t.Helper()
+	rr := matching.Compile(matching.RoundRobin(16))
+	direct, err := NewDirect(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vlb, err := NewVLB(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orn, err := schedule.BuildOptimalORN(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorn, err := schedule.BuildSORN(schedule.SORNConfig{N: 16, Nc: 4, Q: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Router{direct, vlb, NewORN(orn), NewSORN(sorn)}
+}
+
+func TestRouteIntoMatchesRoute(t *testing.T) {
+	// RouteInto is documented as producing exactly Route's hop sequence.
+	// ORN draws randomness, so each side gets its own identically seeded
+	// stream; a third stream picks the coordinates.
+	const n = 16
+	for _, router := range routersUnderTest(t) {
+		coords := rng.New(90)
+		r1 := rng.New(91)
+		r2 := rng.New(91)
+		buf := make(Route, 0, 2*router.MaxHops())
+		for trial := 0; trial < 300; trial++ {
+			src := coords.Intn(n)
+			dst := coords.Intn(n)
+			if dst == src {
+				dst = (src + 1) % n
+			}
+			slot := coords.Intn(200)
+			want := router.Route(src, dst, slot, r1)
+			buf = router.RouteInto(buf[:0], src, dst, slot, r2)
+			if len(buf) != len(want) {
+				t.Fatalf("%s: RouteInto len %d != Route len %d", router.Name(), len(buf), len(want))
+			}
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Fatalf("%s: RouteInto(%d,%d,%d) = %v, Route = %v",
+						router.Name(), src, dst, slot, buf, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteIntoDoesNotAllocate(t *testing.T) {
+	// The simulator calls RouteInto once per injected cell; with a
+	// pre-grown buffer it must not allocate at all.
+	for _, router := range routersUnderTest(t) {
+		router := router
+		r := rng.New(92)
+		buf := make(Route, 0, 2*router.MaxHops()+2)
+		if avg := testing.AllocsPerRun(200, func() {
+			buf = router.RouteInto(buf[:0], 0, 15, 3, r)
+		}); avg != 0 {
+			t.Errorf("%s: RouteInto allocates %.1f per call with a warm buffer", router.Name(), avg)
+		}
+	}
+}
+
+// scanIntra is the definitional linear scan that SORN's precomputed
+// intra-circuit index replaced: walk the schedule forward from `slot`
+// until src's circuit lands inside its own clique.
+func scanIntra(b *schedule.SORN, src, slot int) int {
+	cl := b.Cliques
+	if cl.Size(cl.CliqueOf(src)) == 1 {
+		return src
+	}
+	p := b.Schedule.Period()
+	for t := slot; t < slot+p; t++ {
+		if d := b.Schedule.DestAt(src, t); cl.SameClique(src, d) {
+			return d
+		}
+	}
+	return src
+}
+
+func TestSORNFirstAvailableIntraMatchesScan(t *testing.T) {
+	// The O(1) index must agree with the linear scan for every node and
+	// phase, including past one period (wrap-around) and for singleton
+	// cliques (k = 1, where the load-balancing hop degenerates to src).
+	for _, cfg := range []schedule.SORNConfig{
+		{N: 16, Nc: 4, Q: 2},
+		{N: 12, Nc: 3, Q: 0.5},
+		{N: 8, Nc: 2, Q: 5},
+		{N: 6, Nc: 6, Q: 1}, // singleton cliques
+	} {
+		built, err := schedule.BuildSORN(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		router := NewSORN(built)
+		p := built.Schedule.Period()
+		for src := 0; src < cfg.N; src++ {
+			for slot := 0; slot < 2*p+3; slot++ {
+				got := router.firstAvailableIntra(src, slot)
+				want := scanIntra(built, src, slot)
+				if got != want {
+					t.Fatalf("N=%d Nc=%d q=%g: firstAvailableIntra(%d, %d) = %d, linear scan = %d",
+						cfg.N, cfg.Nc, cfg.Q, src, slot, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# bench.sh runs the netsim-heavy benchmarks and records ns/op,
+# allocs/op and throughput metrics into the BENCH_netsim.json ledger
+# via cmd/benchjson, so each PR commits before/after evidence for the
+# simulator hot path (see ROADMAP.md's bench trajectory).
+#
+#   ./scripts/bench.sh -label after-pr2      # full run, updates BENCH_netsim.json
+#   ./scripts/bench.sh -quick                # CI smoke: tiny run into a temp file
+#
+# Full mode runs BenchmarkFigure2fSimulated (the end-to-end saturated
+# 64-node sweep, -count 3, best kept) plus the netsim micro-benchmarks.
+# Quick mode only proves the harness works — benchmarks build, run, and
+# the JSON emitter parses them — without thresholds and without
+# touching the committed ledger.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label=""
+quick=0
+out="BENCH_netsim.json"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -quick) quick=1 ;;
+    -label) label="$2"; shift ;;
+    -out) out="$2"; shift ;;
+    *) echo "usage: bench.sh [-quick] [-label NAME] [-out FILE]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [ "$quick" = 1 ]; then
+  tmp="$(mktemp)"
+  trap 'rm -f "$tmp"' EXIT
+  go test -run NONE -bench 'BenchmarkStepSaturated|BenchmarkInjectSaturated' \
+    -benchtime 200x -benchmem ./internal/netsim/ |
+    go run ./cmd/benchjson -label quick-smoke -out "$tmp"
+  echo "bench.sh -quick: harness OK"
+  exit 0
+fi
+
+if [ -z "$label" ]; then
+  echo "bench.sh: -label is required for a recorded run" >&2
+  exit 2
+fi
+
+{
+  go test -run NONE -bench 'BenchmarkFigure2fSimulated$' -benchtime 1x -count 3 -benchmem .
+  go test -run NONE -bench 'BenchmarkStepSaturated|BenchmarkInjectSaturated' -benchmem ./internal/netsim/
+} | tee /dev/stderr | go run ./cmd/benchjson -label "$label" -out "$out"

@@ -13,6 +13,10 @@
 #   5. go test -race ./...   -- the race detector over the same suite;
 #                               goroutine fan-out in internal/experiments
 #                               must be both race-free and deterministic
+#   6. bench.sh -quick       -- the benchmark harness builds, runs, and
+#                               its JSON emitter parses the output; no
+#                               thresholds, and the committed
+#                               BENCH_netsim.json is left untouched
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,5 +34,8 @@ go test ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== scripts/bench.sh -quick"
+./scripts/bench.sh -quick
 
 echo "== ci.sh: all checks passed"
