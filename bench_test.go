@@ -289,7 +289,9 @@ func BenchmarkAblationPlaneSweep(b *testing.B) {
 	var pts []experiments.PlanePoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = experiments.PlaneSweep(64, 8, 0.56, []int{1, 16}, 0.05, 19)
+		pts, err = experiments.PlaneSweep(experiments.PlaneSweepConfig{
+			N: 64, Nc: 8, X: 0.56, Planes: []int{1, 16}, Load: 0.05, Seed: 19,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}

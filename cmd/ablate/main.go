@@ -227,7 +227,9 @@ func latency(n, nc int, seed uint64) {
 
 func planes(n, nc int, seed uint64) {
 	fmt.Printf("U1 — uplink planes divide the schedule wait (N=%d, 5%% load, SORN x=0.56):\n", n)
-	pts, err := experiments.PlaneSweep(n, nc, 0.56, []int{1, 2, 4, 8, 16}, 0.05, seed)
+	pts, err := experiments.PlaneSweep(experiments.PlaneSweepConfig{
+		N: n, Nc: nc, X: 0.56, Planes: []int{1, 2, 4, 8, 16}, Load: 0.05, Seed: seed,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,18 +1,27 @@
-// Command benchjson converts `go test -bench` output on stdin into a
-// labeled entry of a JSON benchmark ledger (BENCH_netsim.json by
-// default), so every PR can commit before/after numbers for the
+// Command benchjson maintains a JSON benchmark ledger (BENCH_netsim.json
+// by default), so every PR can commit before/after numbers for the
 // simulator hot path next to the code that changed them.
 //
-// Usage:
+// Recording converts `go test -bench` output on stdin into a labeled
+// ledger entry:
 //
 //	go test -run NONE -bench . -benchmem | benchjson -label after-pr2
 //
 // The ledger holds one entry per label, in insertion order; re-running
 // with an existing label replaces that entry. For benchmarks repeated
 // with -count, the line with the lowest ns/op wins (the least-noise
-// run). Custom b.ReportMetric units land under "metrics". No
-// timestamps or host-volatile fields are recorded: identical bench
-// output must produce an identical file.
+// run). Custom b.ReportMetric units land under "metrics". Each entry
+// records the GOMAXPROCS and simulator worker setting it ran under, so
+// wall-clock comparisons across entries carry their parallelism context;
+// beyond that, no timestamps or host-volatile fields are recorded:
+// identical bench output under an identical environment must produce an
+// identical file.
+//
+// Comparing prints per-benchmark deltas between two recorded entries and
+// exits nonzero if any shared benchmark's ns/op regressed by more than
+// 5% — wire it into CI to keep the hot path from quietly backsliding:
+//
+//	benchjson compare pr3-before pr3-after
 package main
 
 import (
@@ -23,8 +32,11 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
+
+	"repro/internal/sortedmap"
 )
 
 // Bench is one benchmark's numbers within a run.
@@ -37,9 +49,14 @@ type Bench struct {
 
 // Run is one labeled invocation of the benchmark suite.
 type Run struct {
-	Label string            `json:"label"`
-	CPU   string            `json:"cpu,omitempty"`
-	Bench map[string]*Bench `json:"bench"`
+	Label string `json:"label"`
+	CPU   string `json:"cpu,omitempty"`
+	// GOMAXPROCS and Workers record the parallelism context of the run:
+	// the Go scheduler's processor limit, and the simulator worker
+	// setting the benchmarks used ("auto" = one shard per CPU).
+	GOMAXPROCS int               `json:"gomaxprocs,omitempty"`
+	Workers    string            `json:"workers,omitempty"`
+	Bench      map[string]*Bench `json:"bench"`
 }
 
 // Ledger is the whole JSON file: runs in insertion order.
@@ -47,12 +64,21 @@ type Ledger struct {
 	Runs []*Run `json:"runs"`
 }
 
+// regressionLimit is the ns/op increase `compare` tolerates before
+// failing, as a fraction.
+const regressionLimit = 0.05
+
 // benchLine matches "BenchmarkName[-procs] <iters> <value unit>..."
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(compareMain(os.Args[2:]))
+	}
 	label := flag.String("label", "", "label for this run (required)")
 	out := flag.String("out", "BENCH_netsim.json", "ledger file to update")
+	workers := flag.String("workers", "auto", "simulator worker setting the benchmarks ran with")
+	maxprocs := flag.Int("gomaxprocs", runtime.GOMAXPROCS(0), "GOMAXPROCS the benchmarks ran under")
 	flag.Parse()
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -label is required")
@@ -67,11 +93,103 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	run.GOMAXPROCS = *maxprocs
+	run.Workers = *workers
 	if err := merge(*out, run); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: recorded %d benchmarks under label %q in %s\n", len(run.Bench), *label, *out)
+}
+
+// compareMain implements `benchjson compare <labelA> <labelB>`: print
+// per-benchmark deltas and return 1 if any shared benchmark's ns/op
+// regressed more than regressionLimit, 2 on usage/IO errors.
+func compareMain(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_netsim.json", "ledger file to read")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson compare [-out ledger.json] <labelA> <labelB>")
+		return 2
+	}
+	data, err := os.ReadFile(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	var ledger Ledger
+	if err := json.Unmarshal(data, &ledger); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *out, err)
+		return 2
+	}
+	find := func(label string) *Run {
+		for _, r := range ledger.Runs {
+			if r.Label == label {
+				return r
+			}
+		}
+		return nil
+	}
+	a, b := find(fs.Arg(0)), find(fs.Arg(1))
+	for i, r := range []*Run{a, b} {
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "benchjson: label %q not in %s\n", fs.Arg(i), *out)
+			return 2
+		}
+	}
+
+	names := make([]string, 0, len(a.Bench))
+	for _, name := range sortedmap.Keys(a.Bench) {
+		if b.Bench[name] != nil {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: labels %q and %q share no benchmarks\n", a.Label, b.Label)
+		return 2
+	}
+
+	fmt.Printf("%-34s %14s %14s %9s %9s %9s\n",
+		"benchmark", a.Label+" ns/op", b.Label+" ns/op", "speedup", "Δns/op", "Δallocs")
+	regressed := false
+	for _, name := range names {
+		ba, bb := a.Bench[name], b.Bench[name]
+		line := fmt.Sprintf("%-34s %14.0f %14.0f %8.2fx %8.1f%% %9s",
+			strings.TrimPrefix(name, "Benchmark"),
+			ba.NsPerOp, bb.NsPerOp,
+			ba.NsPerOp/bb.NsPerOp,
+			(bb.NsPerOp/ba.NsPerOp-1)*100,
+			deltaPct(ba.AllocsPerOp, bb.AllocsPerOp))
+		if bb.NsPerOp > ba.NsPerOp*(1+regressionLimit) {
+			line += "  REGRESSION"
+			regressed = true
+		}
+		fmt.Println(line)
+	}
+	for _, name := range sortedmap.Keys(b.Bench) {
+		if a.Bench[name] == nil {
+			fmt.Printf("%-34s (only in %s)\n", strings.TrimPrefix(name, "Benchmark"), b.Label)
+		}
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression over %.0f%% between %q and %q\n",
+			regressionLimit*100, a.Label, b.Label)
+		return 1
+	}
+	return 0
+}
+
+// deltaPct formats a relative change, or "-" when the baseline is zero
+// (e.g. allocs were not recorded).
+func deltaPct(from, to float64) string {
+	//sornlint:ignore floateq -- zero means the field was absent from the bench output
+	if from == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", (to/from-1)*100)
 }
 
 // parse reads `go test -bench` output and keeps, per benchmark, the

@@ -36,6 +36,7 @@ func main() {
 	flag.Int64Var(&cfg.Backlog, "backlog", cfg.Backlog, "fresh-cell saturation target per node")
 	flag.IntVar(&cfg.SizeCap, "cap", cfg.SizeCap, "flow size cap in cells (p95 of web search; bounds transient)")
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "simulation seed")
+	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "step-shard goroutines per simulation (0 = one per CPU, 1 = serial; results identical)")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	flag.Parse()
 

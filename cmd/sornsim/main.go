@@ -40,6 +40,7 @@ func main() {
 	propNS := flag.Int64("propns", 500, "per-hop propagation (ns)")
 	planes := flag.Int("planes", 1, "parallel uplinks per node")
 	qlimit := flag.Int("qlimit", 0, "per-VOQ queue limit in cells (0 = unbounded)")
+	workers := flag.Int("workers", 0, "step-shard goroutines (0 = one per CPU, 1 = serial; results identical)")
 	hist := flag.Bool("hist", false, "print a log2 histogram of cell latencies")
 	flag.Parse()
 
@@ -97,6 +98,7 @@ func main() {
 		MeasureSlots:       *slots,
 		TargetBacklog:      *backlog,
 		Planes:             *planes,
+		Workers:            *workers,
 	}
 
 	var st *netsim.Stats
@@ -111,6 +113,7 @@ func main() {
 			Schedule: nw.Schedule, Router: nw.Router,
 			SlotNS: *slotNS, PropNS: *propNS, Seed: *seed,
 			LatencySampleEvery: 16, Planes: *planes, QueueLimit: *qlimit,
+			Workers: *workers,
 		})
 		if serr != nil {
 			fatal(serr)

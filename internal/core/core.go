@@ -124,6 +124,10 @@ type SimOptions struct {
 	TargetBacklog      int64 // default 256 cells per node
 	// Planes is the parallel uplink count per node (default 1).
 	Planes int
+	// Workers shards each simulation step across this many goroutines
+	// (0 = one per available CPU, 1 = serial). Results are bit-identical
+	// for every value; see the netsim package comment.
+	Workers int
 }
 
 func (o SimOptions) withDefaults() SimOptions {
@@ -159,6 +163,7 @@ func (nw *Network) NewSim(opts SimOptions) (*netsim.Sim, error) {
 		Seed:               opts.Seed,
 		LatencySampleEvery: opts.LatencySampleEvery,
 		Planes:             opts.Planes,
+		Workers:            opts.Workers,
 	})
 }
 

@@ -39,6 +39,10 @@ type Fig2fConfig struct {
 	Backlog      int64
 	SizeCap      int
 	Seed         uint64
+	// Workers is the per-simulation shard count (core.SimOptions.Workers):
+	// 0 = one per available CPU, 1 = serial. Results are bit-identical
+	// for every value.
+	Workers int
 }
 
 // DefaultFig2fConfig is the paper's setup: 128 nodes, 8 cliques,
@@ -110,6 +114,7 @@ func fig2fPoint(cfg Fig2fConfig, x float64, size workload.SizeDist, stream *rng.
 			WarmupSlots:   cfg.WarmupSlots,
 			MeasureSlots:  cfg.MeasureSlots,
 			TargetBacklog: cfg.Backlog,
+			Workers:       cfg.Workers,
 		}, tm, size)
 		if err != nil {
 			return Fig2fPoint{}, err
@@ -543,24 +548,36 @@ type PlanePoint struct {
 	P99us  float64
 }
 
+// PlaneSweepConfig parameterizes the uplink sweep.
+type PlaneSweepConfig struct {
+	N, Nc  int
+	X      float64 // locality the schedule and traffic are built for
+	Planes []int   // uplink counts to sweep
+	Load   float64 // offered load per node
+	Seed   uint64
+	// Workers is the per-simulation shard count (0 = one per CPU,
+	// 1 = serial); bit-identical results for every value.
+	Workers int
+}
+
 // PlaneSweep measures how parallel phase-staggered uplinks divide the
 // schedule-wait component of latency — the /uplinks term Table 1's
 // minimum-latency column depends on.
-func PlaneSweep(n, nc int, x float64, planes []int, load float64, seed uint64) ([]PlanePoint, error) {
-	nw, err := core.NewSORN(n, nc, x)
+func PlaneSweep(cfg PlaneSweepConfig) ([]PlanePoint, error) {
+	nw, err := core.NewSORN(cfg.N, cfg.Nc, cfg.X)
 	if err != nil {
 		return nil, err
 	}
-	tm, err := nw.LocalityMatrix(x)
+	tm, err := nw.LocalityMatrix(cfg.X)
 	if err != nil {
 		return nil, err
 	}
 	var out []PlanePoint
-	for _, p := range planes {
+	for _, p := range cfg.Planes {
 		st, err := nw.SimulateOpenLoop(core.SimOptions{
-			SlotNS: 100, PropNS: 500, Seed: seed,
-			LatencySampleEvery: 1, Planes: p,
-		}, tm, workload.FixedSize(1), load, 25000)
+			SlotNS: 100, PropNS: 500, Seed: cfg.Seed,
+			LatencySampleEvery: 1, Planes: p, Workers: cfg.Workers,
+		}, tm, workload.FixedSize(1), cfg.Load, 25000)
 		if err != nil {
 			return nil, err
 		}

@@ -272,7 +272,9 @@ func TestPlaneSweepDividesWait(t *testing.T) {
 	if testing.Short() {
 		t.Skip("packet simulations")
 	}
-	pts, err := PlaneSweep(64, 8, 0.56, []int{1, 8}, 0.05, 19)
+	pts, err := PlaneSweep(PlaneSweepConfig{
+		N: 64, Nc: 8, X: 0.56, Planes: []int{1, 8}, Load: 0.05, Seed: 19,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

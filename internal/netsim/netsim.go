@@ -12,10 +12,28 @@
 // "first available" load-balancing hop rotates with the injection slot,
 // reproducing the per-slot spreading real designs get from transmitting
 // consecutive cells on consecutive circuits (paper §4, footnote 1).
+//
+// # Parallel execution
+//
+// Step is internally sharded across Config.Workers goroutines while
+// staying bit-for-bit deterministic: the transmit phase shards by source
+// node (each shard pops only its own VOQs), the landing phase shards by
+// destination node (each shard pushes only its own VOQs), and everything
+// either phase mutates is indexed by a node exactly one shard owns, or is
+// staged per shard and merged in fixed shard order at the slot barrier.
+// Because shards are contiguous, ordered node ranges and each phase walks
+// its nodes in increasing order, the per-location mutation sequence is
+// independent of the worker count: Workers: k produces Stats identical to
+// Workers: 1. Latency sampling and landing-time reroutes draw from
+// per-node rng streams split serially at construction, so their draw
+// sequences depend only on each node's own event order.
 package netsim
 
 import (
 	"fmt"
+	"runtime"
+	"slices"
+	"sync"
 
 	"repro/internal/matching"
 	"repro/internal/rng"
@@ -26,6 +44,12 @@ import (
 
 // maxWaypoints bounds route length (3D ORN uses 6 hops; SORN uses 3).
 const maxWaypoints = 8
+
+// flowBlockBits sizes the flow arena blocks (1024 flows, ~40 KiB each):
+// flows are reachable by index without a per-flow allocation, stay
+// pointer-stable as the arena grows, and consecutive flows share cache
+// lines (the hot delivered/size pair is touched on every delivery).
+const flowBlockBits = 10
 
 // Config parameterizes a simulation.
 type Config struct {
@@ -50,15 +74,20 @@ type Config struct {
 	// per slot — the paper's 16-uplink deployment, and the reason
 	// Table 1 divides δm by the uplink count.
 	Planes int
+	// Workers shards Step across this many goroutines. 0 picks
+	// GOMAXPROCS (capped at the node count), 1 runs serially. Every
+	// value yields bit-identical Stats — see the package comment — so
+	// the choice is purely a wall-clock knob.
+	Workers int
 }
 
 // FlowState tracks one flow through the simulator.
 type FlowState struct {
-	id        int
-	src, dst  int
-	size      int
-	delivered int
-	lost      int
+	id        int32
+	src, dst  int32
+	size      int32
+	delivered int32
+	lost      int32
 	arrival   int64
 	done      int64 // slot of last cell delivery; -1 while in flight
 }
@@ -76,27 +105,34 @@ func (f *FlowState) CompletionSlots() int64 {
 }
 
 // Delivered returns how many of the flow's cells have arrived.
-func (f *FlowState) Delivered() int { return f.delivered }
+func (f *FlowState) Delivered() int { return int(f.delivered) }
 
 // Lost returns how many of the flow's cells were dropped by failed links
 // or nodes.
-func (f *FlowState) Lost() int { return f.lost }
+func (f *FlowState) Lost() int { return int(f.lost) }
 
 // Endpoints returns the flow's source and destination.
-func (f *FlowState) Endpoints() (src, dst int) { return f.src, f.dst }
+func (f *FlowState) Endpoints() (src, dst int) { return int(f.src), int(f.dst) }
 
 // cell is one port-slot of data in flight. Waypoints are the nodes after
 // the source; idx points at the next one. The flow is referenced by its
-// index into Sim.flows rather than by pointer, keeping the struct
+// index into the flow arena rather than by pointer, keeping the struct
 // pointer-free: the n² virtual output queues then cost the garbage
-// collector no scan work and their writes no barriers.
+// collector no scan work and their writes no barriers. The injection
+// slot is not stored per cell — every cell of a flow is injected at the
+// flow's arrival slot, so latency accounting reads FlowState.arrival —
+// which keeps the struct at 24 bytes, and every queue push, ring write,
+// and pop copy 25% cheaper than a 32-byte layout.
 type cell struct {
 	flow      int32
 	waypoints [maxWaypoints]int16
 	n, idx    int8
 	fresh     bool // still queued at its source, never transmitted
-	injected  int64
 }
+
+// dst returns the cell's final destination (the last waypoint), saving
+// the flow-arena lookup on hot paths that only need the destination.
+func (c *cell) dst() int { return int(c.waypoints[c.n-1]) }
 
 // fifo is a power-of-two circular buffer of cells: pushes and pops are
 // single indexed writes/reads with no compaction copies, and the buffer
@@ -106,18 +142,33 @@ type fifo struct {
 	head, tail uint32 // monotonically increasing; position is index & (len-1)
 }
 
-func (f *fifo) push(c cell) {
+// push appends a cell. The full-buffer case is split into pushSlow so
+// push itself stays within the inlining budget of its hot callers.
+func (f *fifo) push(c *cell) {
 	if int(f.tail-f.head) == len(f.buf) {
-		f.grow()
+		f.pushSlow(c)
+		return
 	}
-	f.buf[f.tail&uint32(len(f.buf)-1)] = c
+	f.buf[f.tail&uint32(len(f.buf)-1)] = *c
 	f.tail++
 }
 
-// grow doubles the buffer, linearizing the queue to the front.
+func (f *fifo) pushSlow(c *cell) {
+	f.grow()
+	f.buf[f.tail&uint32(len(f.buf)-1)] = *c
+	f.tail++
+}
+
+// grow resizes the buffer, linearizing the queue to the front. Small
+// buffers quadruple rather than double: queues ramp to their high-water
+// mark in half the reallocation+copy churn during warmup, for at most
+// 2× transient overshoot.
 func (f *fifo) grow() {
 	old := len(f.buf)
 	size := old * 2
+	if old < 1024 {
+		size = old * 4
+	}
 	if size == 0 {
 		size = 8
 	}
@@ -132,24 +183,26 @@ func (f *fifo) grow() {
 	f.head = 0
 }
 
-func (f *fifo) pop() (cell, bool) {
+// pop removes the head cell, returning a pointer into the buffer. The
+// pointee stays valid until the next push to this queue, which in a
+// phase-sharded Step cannot happen before the caller is done with it
+// (pops happen in the transmit phase, pushes in landing/injection).
+func (f *fifo) pop() (*cell, bool) {
 	if f.head == f.tail {
-		return cell{}, false
+		return nil, false
 	}
-	c := f.buf[f.head&uint32(len(f.buf)-1)]
+	c := &f.buf[f.head&uint32(len(f.buf)-1)]
 	f.head++
 	return c, true
 }
 
 func (f *fifo) len() int { return int(f.tail - f.head) }
 
-// arrival is a cell in flight toward a node.
-type arrival struct {
-	c  cell
-	at int16 // destination node of this hop
-}
-
 // Stats accumulates measurement-window counters.
+//
+// Worker shards stage deltas into private Stats values that mergeFrom
+// folds into the shared one at the slot barrier — a new counter or
+// sample field must be added there too.
 type Stats struct {
 	DeliveredCells int64 // final-hop deliveries
 	InjectedCells  int64
@@ -159,7 +212,7 @@ type Stats struct {
 	// cells were queued for different circuits. Self-circuit slots
 	// (which a validated schedule cannot contain) would be excluded,
 	// since the node could never transmit on them.
-	IdleSlots int64
+	IdleSlots      int64
 	LostCells      int64 // dropped by failed links/nodes
 	DroppedCells   int64 // dropped by full queues (QueueLimit)
 	MeasuredSlots  int64
@@ -174,6 +227,27 @@ type Stats struct {
 	LatencySlots  stats.Sample
 	FCTSlots      stats.Sample
 	LatencyByHops [maxWaypoints]stats.Sample
+}
+
+// mergeFrom folds a shard's staged deltas into s and resets them. Sample
+// observations are appended in call order, so merging shards in fixed
+// shard order keeps the sample streams deterministic.
+func (s *Stats) mergeFrom(d *Stats) {
+	s.DeliveredCells += d.DeliveredCells
+	s.InjectedCells += d.InjectedCells
+	s.SentCells += d.SentCells
+	s.IdleSlots += d.IdleSlots
+	s.LostCells += d.LostCells
+	s.DroppedCells += d.DroppedCells
+	s.MeasuredSlots += d.MeasuredSlots
+	s.CompletedFlows += d.CompletedFlows
+	*d = Stats{Planes: d.Planes,
+		LatencySlots: d.LatencySlots, FCTSlots: d.FCTSlots, LatencyByHops: d.LatencyByHops}
+	d.LatencySlots.DrainTo(&s.LatencySlots)
+	d.FCTSlots.DrainTo(&s.FCTSlots)
+	for i := range d.LatencyByHops {
+		d.LatencyByHops[i].DrainTo(&s.LatencyByHops[i])
+	}
 }
 
 // Throughput returns delivered cells per node per slot per plane — the
@@ -197,6 +271,29 @@ func (s *Stats) MeanHops() float64 {
 	return float64(s.SentCells) / float64(s.DeliveredCells)
 }
 
+// flowLoss stages a lost-cell increment against a flow. Cells of one
+// flow can be dropped at relay nodes owned by different shards in the
+// same slot, so shards record losses privately and the barrier applies
+// them serially.
+type flowLoss struct {
+	flow  int32
+	cells int32
+}
+
+// shard is one worker's slice of the simulation plus its private
+// staging state. Shards own the contiguous node range [lo, hi): in the
+// transmit phase they pop only VOQs of their own sources, in the landing
+// phase they push only VOQs of their own destinations. Everything else
+// they touch is staged here and merged in shard order at the barrier.
+type shard struct {
+	lo, hi   int
+	routeBuf routing.Route // scratch for landing-time reroutes
+	stats    Stats         // staged counter/sample deltas
+	losses   []flowLoss    // staged FlowState.lost increments
+	dirty    []int32       // staged per-pair saturation worklist entries
+	landed   int32         // cells this shard wrote into the delay line this slot
+}
+
 // Sim is a running simulation. Create with New, drive with Step/Run
 // variants, read Stats.
 type Sim struct {
@@ -209,18 +306,47 @@ type Sim struct {
 	planes    int
 	offsets   []int64 // per-plane phase offset into the schedule
 	rng       *rng.RNG
-	// latRng drives latency sampling on its own stream, so enabling or
-	// tuning sampling never perturbs the traffic the workload stream
-	// (rng) generates.
-	latRng     *rng.RNG
+	// latRngs[v] drives latency sampling of deliveries at node v on its
+	// own stream: enabling or tuning sampling never perturbs the
+	// workload stream (rng), and each node's draw sequence depends only
+	// on its own delivery order, keeping sampling identical across
+	// worker counts.
+	latRngs    []rng.RNG
 	sampleProb float64
+	// nodeRngs[u] feeds landing-time reroutes at node u (routers like
+	// the ORN spray draw a random intermediate), again so the draw
+	// sequence is per-node and therefore worker-count invariant.
+	nodeRngs []rng.RNG
 
-	voq       []fifo      // n*n queues, index u*n+next
-	backlog   []int64     // queued cells per node (excludes in-flight)
-	fresh     []int64     // never-transmitted cells queued per source
-	freshPair []int64     // never-transmitted cells per (src,dst) pair
-	ring      [][]arrival // delay line, indexed slot % len
-	routeBuf  routing.Route
+	voq     []fifo  // n*n queues, index u*n+next
+	backlog []int64 // queued cells per node (excludes in-flight)
+	fresh   []int64 // never-transmitted cells queued per source
+
+	// freshPair counts never-transmitted cells per (src,dst) pair. Only
+	// per-pair saturation reads it, so it is maintained only while
+	// trackPairs is set (a random write into an n²-sized array per
+	// consumed cell is pure overhead otherwise) and rebuilt from the
+	// queued cells when a per-pair run starts.
+	freshPair []int64
+
+	// The delay line is direct-mapped: within a slot each plane's
+	// circuits form a matching, so destination v receives at most one
+	// cell per plane per slot and slot (s%ringSlots, v, p) has exactly
+	// one possible writer. Transmit shards therefore write arrivals
+	// race-free with no staging buffers, and the landing phase walks
+	// its destinations in node order — the canonical order that makes
+	// results independent of the worker count.
+	ringSlots int
+	ringCells []cell // (slot%ringSlots)*n*planes + v*planes + p
+	ringOcc   []bool
+	// ringCount[slot%ringSlots] is the number of occupied entries in
+	// that ring slot, so a slot with nothing arriving skips the
+	// n×planes occupancy scan — most steps of a draining or lightly
+	// loaded run. Written only between phase barriers (or by the
+	// single serial writer), read by the landing phase.
+	ringCount []int32
+
+	routeBuf routing.Route
 
 	// Deficit worklist for per-pair saturation: when trackPairs is on,
 	// every (src,dst) pair whose fresh-cell count drops is pushed onto
@@ -231,8 +357,15 @@ type Sim struct {
 	dirtyPairs []int32
 	dirtyMark  []bool
 
-	flows      []*FlowState
-	nextFlow   int
+	// flows is a chunked arena of 1<<flowBlockBits FlowStates per block:
+	// index-addressable, pointer-stable, allocation-free per flow.
+	flows    [][]FlowState
+	numFlows int
+	nextFlow int32
+
+	shards    []shard
+	matchRows [][]int // per-plane matching of the current slot
+
 	measuring  bool
 	stats      Stats
 	hasCircuit []bool // u*n+v: schedule ever circuits u→v
@@ -268,31 +401,54 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.Planes < 1 {
 		return nil, fmt.Errorf("netsim: plane count %d invalid", cfg.Planes)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("netsim: worker count %d invalid", cfg.Workers)
+	}
+	if cfg.Workers == 0 {
+		// Bit-identical for every worker count (see package comment),
+		// so defaulting to the host's parallelism is purely a speed
+		// choice, not a reproducibility one.
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > n {
+		cfg.Workers = n
+	}
 	prop := (cfg.PropNS + cfg.SlotNS - 1) / cfg.SlotNS
 	s := &Sim{
-		cfg:       cfg,
-		n:         n,
-		sched:     cfg.Schedule,
-		router:    cfg.Router,
-		propSlots: prop,
-		planes:    cfg.Planes,
-		rng:       rng.New(cfg.Seed),
-		// The xor constant just decorrelates the two seeds; splitmix64
-		// inside rng.New takes care of the rest.
-		latRng:     rng.New(cfg.Seed ^ 0x6c61745f73616d70),
+		cfg:        cfg,
+		n:          n,
+		sched:      cfg.Schedule,
+		router:     cfg.Router,
+		propSlots:  prop,
+		planes:     cfg.Planes,
+		rng:        rng.New(cfg.Seed),
 		voq:        make([]fifo, n*n),
 		backlog:    make([]int64, n),
 		fresh:      make([]int64, n),
 		freshPair:  make([]int64, n*n),
-		ring:       make([][]arrival, prop+1),
+		ringSlots:  int(prop) + 1,
+		ringCells:  make([]cell, (int(prop)+1)*n*cfg.Planes),
+		ringOcc:    make([]bool, (int(prop)+1)*n*cfg.Planes),
+		ringCount:  make([]int32, int(prop)+1),
+		matchRows:  make([][]int, cfg.Planes),
 		failedNode: make([]bool, n),
 	}
+	// The xor constants just decorrelate the stream roots from the
+	// workload seed; splitmix64 inside rng.New takes care of the rest.
+	// Each root is split serially into one stream per node.
+	s.latRngs = rng.New(cfg.Seed ^ 0x6c61745f73616d70).SplitN(n)
+	s.nodeRngs = rng.New(cfg.Seed ^ 0x7265726f75746573).SplitN(n)
 	if cfg.LatencySampleEvery > 0 {
 		s.sampleProb = 1 / float64(cfg.LatencySampleEvery)
 	}
 	s.hasCircuit = matching.CircuitSet(cfg.Schedule)
 	s.stats.Planes = cfg.Planes
 	s.offsets = planeOffsets(int64(cfg.Schedule.Period()), int64(cfg.Planes))
+	s.shards = make([]shard, cfg.Workers)
+	for i := range s.shards {
+		s.shards[i].lo = i * n / cfg.Workers
+		s.shards[i].hi = (i + 1) * n / cfg.Workers
+	}
 	return s, nil
 }
 
@@ -317,8 +473,43 @@ func planeOffsets(period, planes int64) []int64 {
 // Slot returns the current absolute slot.
 func (s *Sim) Slot() int64 { return s.slot }
 
+// Workers returns the resolved worker count Step shards across.
+func (s *Sim) Workers() int { return len(s.shards) }
+
 // Stats returns the accumulated measurement-window statistics.
 func (s *Sim) Stats() *Stats { return &s.stats }
+
+// flow returns the arena slot of flow index i. The pointer is stable:
+// arena blocks are never moved or reallocated.
+func (s *Sim) flow(i int32) *FlowState {
+	return &s.flows[i>>flowBlockBits][i&(1<<flowBlockBits-1)]
+}
+
+// newFlow appends a FlowState to the arena and returns it with its index.
+func (s *Sim) newFlow() (*FlowState, int32) {
+	const mask = 1<<flowBlockBits - 1
+	if s.numFlows&mask == 0 {
+		s.flows = append(s.flows, make([]FlowState, 1<<flowBlockBits))
+	}
+	i := int32(s.numFlows)
+	s.numFlows++
+	return &s.flows[i>>flowBlockBits][i&mask], i
+}
+
+// eachFlow calls fn for every injected flow, in injection order.
+func (s *Sim) eachFlow(fn func(*FlowState)) {
+	left := s.numFlows
+	for _, blk := range s.flows {
+		m := len(blk)
+		if m > left {
+			m = left
+		}
+		for i := 0; i < m; i++ {
+			fn(&blk[i])
+		}
+		left -= m
+	}
+}
 
 // Backlog returns the total number of queued cells.
 func (s *Sim) Backlog() int64 {
@@ -332,8 +523,10 @@ func (s *Sim) Backlog() int64 {
 // InFlight returns the number of cells currently propagating on links.
 func (s *Sim) InFlight() int {
 	total := 0
-	for _, bucket := range s.ring {
-		total += len(bucket)
+	for _, occ := range s.ringOcc {
+		if occ {
+			total++
+		}
 	}
 	return total
 }
@@ -366,23 +559,23 @@ func (s *Sim) InjectFlow(src, dst, size int) *FlowState {
 		panic("netsim: self flow")
 	}
 	s.nextFlow++
-	f := &FlowState{id: s.nextFlow, src: src, dst: dst, size: size, arrival: s.slot, done: -1}
-	s.flows = append(s.flows, f)
-	fi := int32(len(s.flows) - 1)
+	f, fi := s.newFlow()
+	*f = FlowState{id: s.nextFlow, src: int32(src), dst: int32(dst), size: int32(size), arrival: s.slot, done: -1}
 	s.fresh[src] += int64(size)
-	s.freshPair[src*s.n+dst] += int64(size)
+	if s.trackPairs {
+		s.freshPair[src*s.n+dst] += int64(size)
+	}
 	for i := 0; i < size; i++ {
 		p := s.router.RouteInto(s.routeBuf[:0], src, dst, int(s.slot)+i, s.rng)
 		s.routeBuf = p
 		var c cell
 		c.flow = fi
 		c.fresh = true
-		c.injected = s.slot
 		c.n = int8(len(p) - 1)
 		for h := 1; h < len(p); h++ {
 			c.waypoints[h-1] = int16(p[h])
 		}
-		s.enqueue(src, c)
+		s.enqueue(nil, src, &c)
 	}
 	if s.measuring {
 		s.stats.InjectedCells += int64(size)
@@ -392,127 +585,266 @@ func (s *Sim) InjectFlow(src, dst, size int) *FlowState {
 
 // noteFreshConsumed updates the fresh-cell accounting when a cell leaves
 // its source (transmitted or dropped at injection) and, under per-pair
-// saturation, pushes the pair onto the deficit worklist.
-func (s *Sim) noteFreshConsumed(u, dst int) {
+// saturation, pushes the pair onto the deficit worklist — staged per
+// shard during parallel phases (sh non-nil), direct otherwise.
+func (s *Sim) noteFreshConsumed(sh *shard, u, dst int) {
 	s.fresh[u]--
+	if !s.trackPairs {
+		return
+	}
 	pair := u*s.n + dst
 	s.freshPair[pair]--
-	if s.trackPairs && !s.dirtyMark[pair] {
+	if !s.dirtyMark[pair] {
 		s.dirtyMark[pair] = true
-		s.dirtyPairs = append(s.dirtyPairs, int32(pair))
+		if sh != nil {
+			sh.dirty = append(sh.dirty, int32(pair))
+		} else {
+			s.dirtyPairs = append(s.dirtyPairs, int32(pair))
+		}
 	}
 }
 
 // enqueue places a cell into node u's VOQ for its next waypoint,
-// dropping it if the queue is at its limit.
-func (s *Sim) enqueue(u int, c cell) {
+// dropping it if the queue is at its limit. It is called from the
+// landing phase with that node's owning shard (accounting is staged),
+// and from serial contexts — injection, reconfiguration — with sh nil
+// (accounting is applied directly).
+func (s *Sim) enqueue(sh *shard, u int, c *cell) {
 	next := int(c.waypoints[c.idx])
 	q := &s.voq[u*s.n+next]
 	if s.cfg.QueueLimit > 0 && q.len() >= s.cfg.QueueLimit {
-		f := s.flows[c.flow]
-		f.lost++
 		if c.fresh {
-			s.noteFreshConsumed(u, f.dst)
+			// Fresh cells are dropped only from serial contexts: a
+			// cell never returns to its source once transmitted.
+			s.noteFreshConsumed(sh, u, c.dst())
 		}
-		if s.measuring {
-			s.stats.DroppedCells++
+		if sh != nil {
+			sh.losses = append(sh.losses, flowLoss{flow: c.flow, cells: 1})
+			if s.measuring {
+				sh.stats.DroppedCells++
+			}
+		} else {
+			s.flow(c.flow).lost++
+			if s.measuring {
+				s.stats.DroppedCells++
+			}
 		}
 		return
 	}
-	s.voq[u*s.n+next].push(c)
+	q.push(c)
 	s.backlog[u]++
 }
 
-// Step advances the simulation by one slot.
+// Step advances the simulation by one slot: a landing phase sharded by
+// destination node, a barrier, a transmit phase sharded by source node,
+// and a final barrier at which per-shard staging merges in shard order.
 func (s *Sim) Step() {
-	// 1. Land cells whose propagation completes this slot.
-	idx := int(s.slot % int64(len(s.ring)))
-	for _, a := range s.ring[idx] {
-		s.land(int(a.at), a.c)
-	}
-	s.ring[idx] = s.ring[idx][:0]
-
-	// 2. Each node transmits one cell per plane on that plane's active
-	// circuit. Planes run the same schedule phase-staggered.
 	period := int64(s.sched.Period())
-	landAt := (s.slot + s.propSlots) % int64(len(s.ring))
-	n := s.n
 	for p := 0; p < s.planes; p++ {
-		m := s.sched.Slots[(s.slot+s.offsets[p])%period]
-		for u := 0; u < n; u++ {
-			if s.failedNode[u] {
-				continue
-			}
-			v := m[u]
-			q := &s.voq[u*n+v]
-			c, ok := q.pop()
-			if !ok {
-				if s.measuring && u != v {
-					s.stats.IdleSlots++
-				}
-				continue
-			}
-			s.backlog[u]--
-			if c.fresh {
-				s.noteFreshConsumed(u, s.flows[c.flow].dst)
-				c.fresh = false
-			}
-			if s.failedNode[v] || (s.failedLink != nil && s.failedLink[u*n+v]) {
-				s.flows[c.flow].lost++
-				if s.measuring {
-					s.stats.LostCells++
-				}
-				continue
-			}
-			if s.measuring {
-				s.stats.SentCells++
-			}
-			s.ring[landAt] = append(s.ring[landAt], arrival{c: c, at: int16(v)})
-		}
+		s.matchRows[p] = s.sched.Slots[(s.slot+s.offsets[p])%period]
 	}
-
+	s.runPhase((*Sim).landShard)
+	s.ringCount[s.slot%int64(s.ringSlots)] = 0
+	s.runPhase((*Sim).transmitShard)
+	if len(s.shards) > 1 {
+		s.mergeShards()
+	}
 	s.slot++
 	if s.measuring {
 		s.stats.MeasuredSlots++
 	}
 }
 
+// runPhase executes one phase across all shards. Serial runs inline
+// over the whole node range with a nil shard, so accounting goes
+// straight to the shared state and the merge step disappears.
+// Parallel runs one goroutine per extra shard with the caller taking
+// shard 0; the WaitGroup barrier orders every phase-k write before
+// every phase-k+1 read.
+func (s *Sim) runPhase(fn func(*Sim, int, int, *shard)) {
+	if len(s.shards) == 1 {
+		fn(s, 0, s.n, nil)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < len(s.shards); i++ {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			fn(s, sh.lo, sh.hi, sh)
+		}(&s.shards[i])
+	}
+	sh0 := &s.shards[0]
+	fn(s, sh0.lo, sh0.hi, sh0)
+	wg.Wait()
+}
+
+// mergeShards folds every shard's staged deltas into the shared state,
+// in shard order — the single point where parallel results meet, and
+// deliberately order-deterministic.
+func (s *Sim) mergeShards() {
+	landIdx := (s.slot + s.propSlots) % int64(s.ringSlots)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.ringCount[landIdx] += sh.landed
+		sh.landed = 0
+		s.stats.mergeFrom(&sh.stats)
+		if len(sh.losses) > 0 {
+			for _, l := range sh.losses {
+				s.flow(l.flow).lost += l.cells
+			}
+			sh.losses = sh.losses[:0]
+		}
+		if len(sh.dirty) > 0 {
+			s.dirtyPairs = append(s.dirtyPairs, sh.dirty...)
+			sh.dirty = sh.dirty[:0]
+		}
+	}
+}
+
+// landShard processes this slot's arrivals at destination nodes
+// [lo, hi), in (node, plane) order.
+func (s *Sim) landShard(lo, hi int, sh *shard) {
+	cur := s.slot % int64(s.ringSlots)
+	if s.ringCount[cur] == 0 {
+		return
+	}
+	base := int(cur) * s.n * s.planes
+	off := base + lo*s.planes
+	for v := lo; v < hi; v++ {
+		for p := 0; p < s.planes; p++ {
+			if s.ringOcc[off] {
+				s.ringOcc[off] = false
+				s.land(sh, v, &s.ringCells[off])
+			}
+			off++
+		}
+	}
+}
+
 // land processes a cell arriving at node v.
-func (s *Sim) land(v int, c cell) {
+func (s *Sim) land(sh *shard, v int, c *cell) {
 	c.idx++
 	if c.idx >= c.n {
-		// Final destination.
-		f := s.flows[c.flow]
-		f.delivered++
-		if s.measuring {
-			s.stats.DeliveredCells++
-			// Deterministic Bernoulli sampling at rate 1/k. Counting
-			// every k-th delivery phase-locks with a period-P schedule
-			// whenever k and P share factors, systematically over- or
-			// under-sampling some circuits; an independent coin flip per
-			// delivery cannot. k == 1 skips the draw and samples all.
-			if k := s.cfg.LatencySampleEvery; k > 0 && (k == 1 || s.latRng.Float64() < s.sampleProb) {
-				lat := float64(s.slot - c.injected)
-				s.stats.LatencySlots.Add(lat)
-				s.stats.LatencyByHops[c.n].Add(lat)
-			}
-		}
-		if f.delivered == f.size {
-			f.done = s.slot
-			if s.measuring {
-				s.stats.CompletedFlows++
-				s.stats.FCTSlots.Add(float64(s.slot - f.arrival))
-			}
-		}
+		s.deliver(sh, v, c)
 		return
 	}
 	// After a reconfiguration, the cell's next circuit may no longer
 	// exist; re-route it from its landing node.
 	if !s.hasCircuit[v*s.n+int(c.waypoints[c.idx])] {
-		s.rerouteFrom(v, c)
+		s.rerouteFrom(sh, v, c)
 		return
 	}
-	s.enqueue(v, c)
+	s.enqueue(sh, v, c)
+}
+
+// deliver counts a final-hop delivery at node v.
+func (s *Sim) deliver(sh *shard, v int, c *cell) {
+	st := &s.stats
+	if sh != nil {
+		st = &sh.stats
+	}
+	f := s.flow(c.flow)
+	f.delivered++
+	if s.measuring {
+		st.DeliveredCells++
+		// Deterministic Bernoulli sampling at rate 1/k. Counting
+		// every k-th delivery phase-locks with a period-P schedule
+		// whenever k and P share factors, systematically over- or
+		// under-sampling some circuits; an independent coin flip per
+		// delivery cannot. k == 1 skips the draw and samples all.
+		if k := s.cfg.LatencySampleEvery; k > 0 && (k == 1 || s.latRngs[v].Float64() < s.sampleProb) {
+			lat := float64(s.slot - f.arrival)
+			st.LatencySlots.Add(lat)
+			st.LatencyByHops[c.n].Add(lat)
+		}
+	}
+	if f.delivered == f.size {
+		f.done = s.slot
+		if s.measuring {
+			st.CompletedFlows++
+			st.FCTSlots.Add(float64(s.slot - f.arrival))
+		}
+	}
+}
+
+// transmitShard pops one cell per plane per source node in [lo, hi)
+// onto the node's active circuits, writing arrivals into the delay line
+// slot each destination owns.
+//
+// The loop is plane-major so the dominant single-plane case is one flat
+// pass over the match row. Unlike the landing phase, transmit order
+// across nodes carries no state: every mutation is per-source (pops,
+// backlog, fresh counters — a node's pops still occur in ascending
+// plane order), commutative (counter and loss sums), uniquely addressed
+// (delay-line entries), or order-canonicalized downstream (the
+// dirty-pair worklist is sorted before each drain), so any iteration
+// layout yields the same result for every worker count.
+func (s *Sim) transmitShard(lo, hi int, sh *shard) {
+	n := s.n
+	st := &s.stats
+	if sh != nil {
+		st = &sh.stats
+	}
+	landBase := int((s.slot+s.propSlots)%int64(s.ringSlots)) * n * s.planes
+	landed := int32(0)
+	idle := int64(0)
+	measuring := s.measuring
+	planes := s.planes
+	rows := s.matchRows
+	voq := s.voq
+	failedNode := s.failedNode
+	for p := 0; p < planes; p++ {
+		row := rows[p]
+		for u := lo; u < hi; u++ {
+			if failedNode[u] {
+				continue
+			}
+			v := row[u]
+			q := &voq[u*n+v]
+			c, ok := q.pop()
+			if !ok {
+				if u != v {
+					idle++
+				}
+				continue
+			}
+			s.backlog[u]--
+			if c.fresh {
+				s.noteFreshConsumed(sh, u, c.dst())
+				c.fresh = false
+			}
+			if s.failedNode[v] || (s.failedLink != nil && s.failedLink[u*n+v]) {
+				if sh != nil {
+					sh.losses = append(sh.losses, flowLoss{flow: c.flow, cells: 1})
+				} else {
+					s.flow(c.flow).lost++
+				}
+				if measuring {
+					st.LostCells++
+				}
+				continue
+			}
+			if measuring {
+				st.SentCells++
+			}
+			// Within a slot each plane's circuits form a matching, so
+			// (v, p) identifies this arrival's slot uniquely: no other
+			// shard can write it.
+			j := landBase + v*s.planes + p
+			s.ringCells[j] = *c
+			s.ringOcc[j] = true
+			landed++
+		}
+	}
+	if measuring {
+		st.IdleSlots += idle
+	}
+	if sh != nil {
+		sh.landed = landed
+	} else {
+		s.ringCount[(s.slot+s.propSlots)%int64(s.ringSlots)] += landed
+	}
 }
 
 // RunOpenLoop injects the given flows at their arrival slots and steps
@@ -610,6 +942,21 @@ func (s *Sim) runSaturatedPerPair(sc SaturationConfig, measureAt, end int64) (*S
 	if s.dirtyMark == nil {
 		s.dirtyMark = make([]bool, s.n*s.n)
 	}
+	// freshPair is unmaintained outside per-pair runs; rebuild it from
+	// the queues (every fresh cell sits at its source).
+	for i := range s.freshPair {
+		s.freshPair[i] = 0
+	}
+	for u := 0; u < s.n; u++ {
+		for v := 0; v < s.n; v++ {
+			q := &s.voq[u*s.n+v]
+			for i := q.head; i != q.tail; i++ {
+				if c := &q.buf[i&uint32(len(q.buf)-1)]; c.fresh {
+					s.freshPair[u*s.n+c.dst()]++
+				}
+			}
+		}
+	}
 	for u := 0; u < s.n; u++ {
 		if s.failedNode[u] {
 			continue
@@ -629,6 +976,11 @@ func (s *Sim) runSaturatedPerPair(sc SaturationConfig, measureAt, end int64) (*S
 		if s.slot == measureAt {
 			s.StartMeasuring()
 		}
+		// The worklist accumulates in transmit-iteration order, which is
+		// a layout detail (plane-major across worker shards); sort the
+		// batch so injection — and the rng draws it consumes — happens
+		// in canonical pair order for every worker count and loop shape.
+		slices.Sort(s.dirtyPairs)
 		// Indexed loop: top-ups whose cells are dropped at injection
 		// (QueueLimit) re-mark their pair, growing the worklist while it
 		// drains — matching the retry the per-slot scan used to do.
@@ -682,40 +1034,59 @@ func (s *Sim) Reconfigure(sched *matching.Schedule, router routing.Router) error
 				if !ok {
 					break
 				}
-				s.rerouteFrom(u, c)
+				s.rerouteFrom(nil, u, c)
 			}
 		}
 	}
 	return nil
 }
 
-// rerouteFrom recomputes a cell's remaining path from node u.
-func (s *Sim) rerouteFrom(u int, c cell) {
-	dst := s.flows[c.flow].dst
-	if u == dst {
-		// Shouldn't happen (cells at their destination are delivered on
-		// landing), but guard anyway.
-		s.land(u, cell{flow: c.flow, n: 1, idx: 1, injected: c.injected})
+// rerouteFrom recomputes a cell's remaining path from node u. Reroutes
+// draw from u's own rng stream so a parallel landing phase consumes no
+// shared generator state.
+func (s *Sim) rerouteFrom(sh *shard, u int, c *cell) {
+	dst := s.flow(c.flow).dst
+	if int32(u) == dst {
+		// A cell queued at its destination as a relay waypoint (e.g. an
+		// ORN digit path crossing dst mid-route) is delivered in place
+		// rather than re-routed. If it never left its source the fresh
+		// accounting still charges it as queued there; consume it
+		// before it disappears into the delivery counters.
+		if c.fresh {
+			s.noteFreshConsumed(sh, u, int(dst))
+		}
+		done := cell{flow: c.flow, n: 1, idx: 1}
+		done.waypoints[0] = int16(dst)
+		s.deliver(sh, u, &done)
 		return
 	}
-	p := s.router.RouteInto(s.routeBuf[:0], u, dst, int(s.slot), s.rng)
-	s.routeBuf = p
-	c.n = int8(len(p) - 1)
-	c.idx = 0
-	for h := 1; h < len(p); h++ {
-		c.waypoints[h-1] = int16(p[h])
+	buf := s.routeBuf
+	if sh != nil {
+		buf = sh.routeBuf
 	}
-	s.enqueue(u, c)
+	p := s.router.RouteInto(buf[:0], u, int(dst), int(s.slot), &s.nodeRngs[u])
+	if sh != nil {
+		sh.routeBuf = p
+	} else {
+		s.routeBuf = p
+	}
+	nc := *c
+	nc.n = int8(len(p) - 1)
+	nc.idx = 0
+	for h := 1; h < len(p); h++ {
+		nc.waypoints[h-1] = int16(p[h])
+	}
+	s.enqueue(sh, u, &nc)
 }
 
 // FlowsCompleted returns how many injected flows have finished.
 func (s *Sim) FlowsCompleted() int {
 	done := 0
-	for _, f := range s.flows {
+	s.eachFlow(func(f *FlowState) {
 		if f.done >= 0 {
 			done++
 		}
-	}
+	})
 	return done
 }
 
@@ -723,16 +1094,16 @@ func (s *Sim) FlowsCompleted() int {
 // injected traffic that lost at least one cell — the packet-level blast
 // radius of the injected failures.
 func (s *Sim) AffectedPairs() float64 {
-	type pair struct{ s, d int }
+	type pair struct{ s, d int32 }
 	seen := map[pair]bool{}
 	hit := map[pair]bool{}
-	for _, f := range s.flows {
+	s.eachFlow(func(f *FlowState) {
 		p := pair{f.src, f.dst}
 		seen[p] = true
 		if f.lost > 0 {
 			hit[p] = true
 		}
-	}
+	})
 	if len(seen) == 0 {
 		return 0
 	}

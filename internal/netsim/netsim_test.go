@@ -458,7 +458,7 @@ func TestNoDuplicationOrLossProperty(t *testing.T) {
 		}
 		var total int64
 		for _, f := range flows {
-			if !f.Done() || f.Delivered() != f.size || f.Lost() != 0 {
+			if !f.Done() || f.Delivered() != int(f.size) || f.Lost() != 0 {
 				return false
 			}
 			total += int64(f.size)
@@ -1047,5 +1047,107 @@ func BenchmarkInjectSaturated(b *testing.B) {
 			}
 		}
 		s.Step()
+	}
+}
+
+func TestReconfigureWithFreshCellsQueued(t *testing.T) {
+	// Reconfigure while most injected cells are still fresh (never
+	// transmitted) at their sources: re-routing must keep the
+	// fresh-cell accounting consistent — fresh counters equal the
+	// fresh cells actually queued, and the total still drains to zero.
+	sc, err := schedule.BuildSORN(schedule.SORNConfig{N: 16, Nc: 4, Q: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Schedule: sc.Schedule, Router: routing.NewSORN(sc), SlotNS: 100, PropNS: 300, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StartMeasuring()
+	injected := int64(0)
+	r := rng.New(5)
+	for i := 0; i < 60; i++ {
+		src := r.Intn(16)
+		dst := r.Intn(16)
+		if src == dst {
+			continue
+		}
+		size := 1 + r.Intn(6)
+		s.InjectFlow(src, dst, size)
+		injected += int64(size)
+	}
+	var totalFresh int64
+	for _, f := range s.fresh {
+		totalFresh += f
+	}
+	if totalFresh != injected {
+		t.Fatalf("fresh = %d before reconfigure, want %d", totalFresh, injected)
+	}
+	// One step transmits a few cells; the rest reconfigure while fresh.
+	s.Step()
+	sc2, err := schedule.BuildSORN(schedule.SORNConfig{N: 16, Nc: 2, Q: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reconfigure(sc2.Schedule, routing.NewSORN(sc2)); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh counters must still match the fresh cells in the queues.
+	perNode := make([]int64, s.n)
+	for u := 0; u < s.n; u++ {
+		for v := 0; v < s.n; v++ {
+			q := &s.voq[u*s.n+v]
+			for i := q.head; i != q.tail; i++ {
+				if q.buf[i&uint32(len(q.buf)-1)].fresh {
+					perNode[u]++
+				}
+			}
+		}
+	}
+	for u := range perNode {
+		if perNode[u] != s.fresh[u] {
+			t.Fatalf("node %d: fresh counter %d, %d fresh cells queued", u, s.fresh[u], perNode[u])
+		}
+	}
+	for i := 0; i < 20000 && !s.Drained(); i++ {
+		s.Step()
+	}
+	checkConservation(t, s)
+	if got := s.Stats().DeliveredCells; got != injected {
+		t.Fatalf("delivered %d of %d after reconfigure", got, injected)
+	}
+	for _, f := range s.fresh {
+		if f != 0 {
+			t.Fatalf("fresh counters nonzero after drain: %v", s.fresh)
+		}
+	}
+}
+
+func TestRerouteFreshCellAtDestinationConsumesFresh(t *testing.T) {
+	// rerouteFrom's u == dst guard delivers the cell in place. If the
+	// cell never left its source, the synthesized delivery must also
+	// consume the fresh-cell accounting — otherwise the source's fresh
+	// counter leaks and saturation top-up logic under-injects forever.
+	sched := matching.RoundRobin(8)
+	d, _ := routing.NewDirect(matching.Compile(sched))
+	s := newSim(t, sched, d, 9)
+	s.StartMeasuring()
+	f := s.InjectFlow(0, 3, 1)
+	// Manufacture the guard's input: a still-fresh cell of that flow
+	// sitting at its own destination (reachable via routes that cross
+	// dst mid-path, e.g. ORN digit paths, when a reconfigure requeues).
+	s.fresh[3]++
+	c := cell{flow: 0, fresh: true, n: 2}
+	c.waypoints[0] = 5
+	c.waypoints[1] = 3
+	s.rerouteFrom(nil, 3, &c)
+	if s.fresh[3] != 0 {
+		t.Fatalf("fresh counter leaked: fresh[3] = %d, want 0", s.fresh[3])
+	}
+	if f.Delivered() != 1 {
+		t.Fatalf("delivered = %d, want 1 (in-place delivery)", f.Delivered())
+	}
+	if s.Stats().DeliveredCells != 1 {
+		t.Fatalf("DeliveredCells = %d, want 1", s.Stats().DeliveredCells)
 	}
 }

@@ -37,6 +37,18 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xa5a5a5a5deadbeef)
 }
 
+// SplitN returns n independent streams derived serially from r, with the
+// same derivation as n consecutive Split calls. Returning values rather
+// than pointers lets callers hold the streams in one contiguous
+// allocation (e.g. one stream per simulated node).
+func (r *RNG) SplitN(n int) []RNG {
+	out := make([]RNG, n)
+	for i := range out {
+		out[i] = *New(r.Uint64() ^ 0xa5a5a5a5deadbeef)
+	}
+	return out
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

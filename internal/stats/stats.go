@@ -104,6 +104,29 @@ func (s *Sample) Percentile(p float64) float64 {
 	return s.xs[lo] + frac*(s.xs[lo+1]-s.xs[lo])
 }
 
+// DrainTo appends s's observations to dst in insertion order and resets
+// s to empty. It is the deterministic merge primitive for sharded
+// accumulation: draining shard samples in a fixed shard order yields the
+// same dst stream regardless of how observations were partitioned.
+func (s *Sample) DrainTo(dst *Sample) {
+	if len(s.xs) == 0 {
+		return
+	}
+	dst.xs = append(dst.xs, s.xs...)
+	dst.sorted = false
+	s.xs = s.xs[:0]
+	s.sorted = false
+}
+
+// Values returns a copy of the retained observations in insertion order
+// (or sorted order after a percentile query). Intended for tests that
+// compare sample streams exactly.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
 // Mean returns the arithmetic mean of the sample.
 func (s *Sample) Mean() float64 {
 	if len(s.xs) == 0 {

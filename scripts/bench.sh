@@ -43,7 +43,15 @@ if [ -z "$label" ]; then
   exit 2
 fi
 
+# Each run entry records its parallelism context: the GOMAXPROCS in
+# force and the simulator worker setting ("auto" = one shard per CPU,
+# the netsim default). Wall-clock entries are only comparable between
+# runs with the same context.
+gomaxprocs="${GOMAXPROCS:-$(nproc)}"
+workers="${NETSIM_WORKERS:-auto}"
+
 {
   go test -run NONE -bench 'BenchmarkFigure2fSimulated$' -benchtime 1x -count 3 -benchmem .
   go test -run NONE -bench 'BenchmarkStepSaturated|BenchmarkInjectSaturated' -benchmem ./internal/netsim/
-} | tee /dev/stderr | go run ./cmd/benchjson -label "$label" -out "$out"
+} | tee /dev/stderr | go run ./cmd/benchjson -label "$label" -out "$out" \
+    -gomaxprocs "$gomaxprocs" -workers "$workers"

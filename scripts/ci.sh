@@ -4,21 +4,35 @@
 #   ./scripts/ci.sh
 #
 # Steps, in order, each fatal:
-#   1. go build ./...        -- the module compiles
-#   2. go vet ./...          -- stdlib vet findings
-#   3. sornlint              -- this repo's determinism & correctness
+#   1. gofmt -l              -- no formatting drift anywhere in the tree
+#   2. go build ./...        -- the module compiles
+#   3. go vet ./...          -- stdlib vet findings
+#   4. sornlint              -- this repo's determinism & correctness
 #                               rules (internal/lint); see DESIGN.md
-#   4. go test ./...         -- tier-1 tests (includes the lint gate
+#   5. go test ./...         -- tier-1 tests (includes the lint gate
 #                               again via lint_test.go)
-#   5. go test -race ./...   -- the race detector over the same suite;
+#   6. race determinism      -- the sharded-step determinism tests
+#                               (Workers=1 vs k bit-identical Stats)
+#                               under the race detector, explicitly,
+#                               so a failure names the engine invariant
+#   7. go test -race ./...   -- the race detector over the full suite;
 #                               goroutine fan-out in internal/experiments
-#                               must be both race-free and deterministic
-#   6. bench.sh -quick       -- the benchmark harness builds, runs, and
+#                               and internal/netsim must be both
+#                               race-free and deterministic
+#   8. bench.sh -quick       -- the benchmark harness builds, runs, and
 #                               its JSON emitter parses the output; no
 #                               thresholds, and the committed
 #                               BENCH_netsim.json is left untouched
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l"
+drift="$(gofmt -l .)"
+if [ -n "$drift" ]; then
+  echo "gofmt drift in:" >&2
+  echo "$drift" >&2
+  exit 1
+fi
 
 echo "== go build ./..."
 go build ./...
@@ -31,6 +45,9 @@ go run ./cmd/sornlint ./...
 
 echo "== go test ./..."
 go test ./...
+
+echo "== go test -race -run TestParallelDeterminism ./internal/netsim/"
+go test -race -run 'TestParallelDeterminism' ./internal/netsim/
 
 echo "== go test -race ./..."
 go test -race ./...
