@@ -225,7 +225,9 @@ func BenchmarkAblationAdaptation(b *testing.B) {
 	var phases []experiments.AdaptationPhase
 	for i := 0; i < b.N; i++ {
 		var err error
-		phases, err = experiments.Adaptation(64, 8, 0.2, 0.8, 6000, 3)
+		phases, err = experiments.Adaptation(experiments.AdaptationConfig{
+			N: 64, Nc: 8, X1: 0.2, X2: 0.8, PhaseSlots: 6000, Seed: 3,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -333,7 +335,9 @@ func BenchmarkAblationDiurnal(b *testing.B) {
 	var pts []experiments.DiurnalPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = experiments.Diurnal(64, 8, 0.2, 0.8, 12, 24)
+		pts, err = experiments.Diurnal(experiments.DiurnalConfig{
+			N: 64, Nc: 8, Lo: 0.2, Hi: 0.8, Period: 12, Epochs: 24,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -368,7 +372,9 @@ func BenchmarkFCTvsLoad(b *testing.B) {
 	var pts []experiments.FCTPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = experiments.FCTvsLoad(64, 8, 0.56, []float64{0.1}, 15000, 37)
+		pts, err = experiments.FCTvsLoad(experiments.FCTConfig{
+			N: 64, Nc: 8, X: 0.56, Loads: []float64{0.1}, Slots: 15000, Seed: 37,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}

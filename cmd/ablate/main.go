@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/model"
+	"repro/internal/obs"
 	physpkg "repro/internal/phys"
 	"repro/internal/stats"
 )
@@ -40,29 +41,42 @@ func main() {
 	n := flag.Int("n", 64, "nodes for built-schedule experiments")
 	nc := flag.Int("nc", 8, "cliques")
 	seed := flag.Uint64("seed", 11, "simulation seed")
+	tracePath := flag.String("trace", "", "write the event trace (flow/failure/reconfig/replan) as JSONL to this file (adapt, diurnal, fct)")
+	metricsPath := flag.String("metrics", "", "write the slot-resolved metric time series as CSV to this file (adapt, fct)")
+	metricsEvery := flag.Int64("metricsevery", 64, "series snapshot cadence in slots")
 	flag.Parse()
+
+	// One observer is shared by every instrumented experiment that runs;
+	// time-series rows are labeled per run/phase so they stay separable.
+	var ob *obs.Observer
+	if *tracePath != "" || *metricsPath != "" {
+		// Flow lifecycle events are only worth their cost when the
+		// trace is actually being written.
+		ob = obs.New(obs.Options{MetricsEvery: *metricsEvery, TraceFlows: *tracePath != ""})
+	}
 
 	run := map[string]func(){
 		"mismatch": func() { mismatch(*n, *nc) },
 		"qsweep":   func() { qsweep(*n, *nc) },
 		"ncsweep":  ncsweep,
 		"blast":    func() { blast(*n, *nc) },
-		"adapt":    func() { adapt(*n, *nc, *seed) },
+		"adapt":    func() { adapt(*n, *nc, *seed, ob) },
 		"gravity":  func() { gravity(*n, *nc) },
 		"pairs":    func() { pairs(*n, *nc) },
 		"latency":  func() { latency(*n, *nc, *seed) },
 		"planes":   func() { planes(*n, *nc, *seed) },
 		"sync":     sync,
 		"state":    state,
-		"diurnal":  func() { diurnal(*n, *nc) },
+		"diurnal":  func() { diurnal(*n, *nc, ob) },
 		"phys":     phys,
-		"fct":      func() { fct(*n, *nc, *seed) },
+		"fct":      func() { fct(*n, *nc, *seed, ob) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"mismatch", "qsweep", "ncsweep", "blast", "adapt", "gravity", "pairs", "latency", "planes", "sync", "state", "diurnal", "phys", "fct"} {
 			run[name]()
 			fmt.Println()
 		}
+		writeObs(ob, *tracePath, *metricsPath)
 		return
 	}
 	f, ok := run[*exp]
@@ -71,6 +85,42 @@ func main() {
 		os.Exit(2)
 	}
 	f()
+	writeObs(ob, *tracePath, *metricsPath)
+}
+
+// writeObs dumps the shared observer's trace (JSONL) and metric series
+// (CSV) to the requested paths.
+func writeObs(ob *obs.Observer, tracePath, metricsPath string) {
+	if ob == nil {
+		return
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ob.WriteTraceJSONL(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		if d := ob.TraceDropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "ablate: trace ring overwrote %d oldest events\n", d)
+		}
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ob.WriteMetricsCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func mismatch(n, nc int) {
@@ -153,9 +203,11 @@ func blast(n, nc int) {
 	fmt.Print(tb.String())
 }
 
-func adapt(n, nc int, seed uint64) {
+func adapt(n, nc int, seed uint64, ob *obs.Observer) {
 	fmt.Printf("A5 — semi-oblivious adaptation after a workload shift (N=%d, packet sim):\n", n)
-	phases, err := experiments.Adaptation(n, nc, 0.2, 0.8, 8000, seed)
+	phases, err := experiments.Adaptation(experiments.AdaptationConfig{
+		N: n, Nc: nc, X1: 0.2, X2: 0.8, PhaseSlots: 8000, Seed: seed, Obs: ob,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -275,9 +327,11 @@ func state() {
 	fmt.Print(tb.String())
 }
 
-func diurnal(n, nc int) {
+func diurnal(n, nc int, ob *obs.Observer) {
 	fmt.Printf("A8 — diurnal locality cycle 0.2..0.8 over 12-epoch periods (N=%d):\n", n)
-	pts, err := experiments.Diurnal(n, nc, 0.2, 0.8, 12, 36)
+	pts, err := experiments.Diurnal(experiments.DiurnalConfig{
+		N: n, Nc: nc, Lo: 0.2, Hi: 0.8, Period: 12, Epochs: 36, Obs: ob,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -318,9 +372,11 @@ func phys() {
 	fmt.Println(" exactly; a flat all-pairs fabric would need 31 ports per node)")
 }
 
-func fct(n, nc int, seed uint64) {
+func fct(n, nc int, seed uint64, ob *obs.Observer) {
 	fmt.Printf("F1 — short-flow (16-cell) FCT vs offered load (N=%d, x=0.56):\n", n)
-	pts, err := experiments.FCTvsLoad(n, nc, 0.56, []float64{0.1, 0.2, 0.3, 0.4}, 25000, seed)
+	pts, err := experiments.FCTvsLoad(experiments.FCTConfig{
+		N: n, Nc: nc, X: 0.56, Loads: []float64{0.1, 0.2, 0.3, 0.4}, Slots: 25000, Seed: seed, Obs: ob,
+	})
 	if err != nil {
 		fatal(err)
 	}

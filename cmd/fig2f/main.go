@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
@@ -37,14 +38,22 @@ func main() {
 	flag.IntVar(&cfg.SizeCap, "cap", cfg.SizeCap, "flow size cap in cells (p95 of web search; bounds transient)")
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "simulation seed")
 	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "step-shard goroutines per simulation (0 = one per CPU, 1 = serial; results identical)")
-	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	tracePath := flag.String("trace", "", "write each simulated point's event trace as JSONL to this file")
+	metricsPath := flag.String("metrics", "", "write each simulated point's slot-resolved metric series as CSV to this file")
+	metricsEvery := flag.Int64("metricsevery", 64, "series snapshot cadence in slots")
 	flag.Parse()
+
+	if *tracePath != "" || *metricsPath != "" {
+		cfg.ObsEvery = *metricsEvery
+	}
 
 	pts, err := experiments.Fig2f(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fig2f:", err)
 		os.Exit(1)
 	}
+	writeCaptures(pts, *tracePath, *metricsPath)
 
 	var tb stats.Table
 	tb.SetHeader("x", "theory r=1/(3-x)", "fluid θ", "sim r (pFabric)", "1D ORN", "2D ORN")
@@ -63,9 +72,66 @@ func main() {
 		)
 	}
 	fmt.Printf("Figure 2(f) — SORN worst-case throughput vs locality ratio (N=%d, Nc=%d)\n\n", cfg.N, cfg.Nc)
-	if *csv {
+	if *csvOut {
 		fmt.Print(tb.CSV())
 	} else {
 		fmt.Print(tb.String())
 	}
+}
+
+// writeCaptures concatenates the per-point observability captures (each
+// sweep point runs concurrently with its own Observer) into one JSONL
+// trace and one metrics CSV, in x order. Series rows carry an "x=…" run
+// label, so the combined files stay separable per point.
+func writeCaptures(pts []experiments.Fig2fPoint, tracePath, metricsPath string) {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range pts {
+			if err := p.Obs.WriteTraceJSONL(f); err != nil {
+				fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		cw := csv.NewWriter(f)
+		wroteHeader := false
+		for _, p := range pts {
+			if p.Obs == nil {
+				continue
+			}
+			if !wroteHeader {
+				if err := cw.Write(p.Obs.SeriesHeader()); err != nil {
+					fatal(err)
+				}
+				wroteHeader = true
+			}
+			for _, row := range p.Obs.SeriesRows() {
+				if err := cw.Write(row); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fig2f:", err)
+	os.Exit(1)
 }

@@ -13,11 +13,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves the default mux
 	"os"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -42,7 +46,26 @@ func main() {
 	qlimit := flag.Int("qlimit", 0, "per-VOQ queue limit in cells (0 = unbounded)")
 	workers := flag.Int("workers", 0, "step-shard goroutines (0 = one per CPU, 1 = serial; results identical)")
 	hist := flag.Bool("hist", false, "print a log2 histogram of cell latencies")
+	tracePath := flag.String("trace", "", "write the event trace (flow/failure/reconfig) as JSONL to this file")
+	metricsPath := flag.String("metrics", "", "write the slot-resolved metric time series as CSV to this file")
+	metricsEvery := flag.Int64("metricsevery", 64, "series snapshot cadence in slots")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// Diagnostics endpoint; a bind failure shouldn't kill the run.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "sornsim: pprof:", err)
+			}
+		}()
+	}
+	var ob *obs.Observer
+	if *tracePath != "" || *metricsPath != "" {
+		// Flow lifecycle events are only worth their cost when the
+		// trace is actually being written.
+		ob = obs.New(obs.Options{MetricsEvery: *metricsEvery, TraceFlows: *tracePath != ""})
+	}
 
 	var (
 		nw  *core.Network
@@ -99,6 +122,7 @@ func main() {
 		TargetBacklog:      *backlog,
 		Planes:             *planes,
 		Workers:            *workers,
+		Obs:                ob,
 	}
 
 	var st *netsim.Stats
@@ -113,7 +137,7 @@ func main() {
 			Schedule: nw.Schedule, Router: nw.Router,
 			SlotNS: *slotNS, PropNS: *propNS, Seed: *seed,
 			LatencySampleEvery: 16, Planes: *planes, QueueLimit: *qlimit,
-			Workers: *workers,
+			Workers: *workers, Obs: ob,
 		})
 		if serr != nil {
 			fatal(serr)
@@ -176,6 +200,35 @@ func main() {
 		for i, b := range bounds {
 			fmt.Printf("  >= %6.0f slots  %s\n", b, strings.Repeat("#", int(counts[i])))
 		}
+	}
+
+	if ob != nil {
+		if *tracePath != "" {
+			writeFile(*tracePath, ob.WriteTraceJSONL)
+			if d := ob.TraceDropped(); d > 0 {
+				fmt.Fprintf(os.Stderr, "sornsim: trace ring overwrote %d oldest events\n", d)
+			}
+		}
+		if *metricsPath != "" {
+			writeFile(*metricsPath, ob.WriteMetricsCSV)
+		}
+		if err := ob.WritePhaseReport(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeFile creates path and streams one observer emitter into it.
+func writeFile(path string, emit func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := emit(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 

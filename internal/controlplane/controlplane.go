@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/ocs"
 	"repro/internal/schedule"
 	"repro/internal/workload"
@@ -102,6 +103,11 @@ type Controller struct {
 	// affinity (greedy aggregation); when false, the initial equal
 	// partition is kept and only q is rebalanced (drain-free updates).
 	Recluster bool
+	// Obs, when non-nil, records each planning decision (estimated x,
+	// chosen q*, clique count, predicted throughput) as a replan event.
+	Obs *obs.Observer
+
+	epoch int64 // planning decisions made, for event ordinals
 }
 
 // NewController creates a controller for n nodes in nc cliques.
@@ -151,13 +157,19 @@ func (c *Controller) PlanNext() (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{
+	p := &Plan{
 		Cliques:    cl,
 		X:          x,
 		Q:          built.RealizedQ,
 		PredictedR: model.SORNThroughputAtQ(x, built.RealizedQ),
 		Built:      built,
-	}, nil
+	}
+	c.epoch++
+	if c.Obs != nil {
+		c.Obs.Emit(obs.Event{Epoch: c.epoch, Type: obs.EvReplan, Src: -1, Dst: -1,
+			X: p.X, Q: p.Q, Nc: cl.NumCliques(), Val: p.PredictedR})
+	}
+	return p, nil
 }
 
 // Apply commits a plan, diffing against the current schedule.

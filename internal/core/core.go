@@ -21,6 +21,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/model"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/schedule"
 	"repro/internal/workload"
@@ -128,6 +129,10 @@ type SimOptions struct {
 	// (0 = one per available CPU, 1 = serial). Results are bit-identical
 	// for every value; see the netsim package comment.
 	Workers int
+	// Obs optionally attaches the observability layer (metrics time
+	// series, phase timing, event trace). nil disables it; enabling it
+	// never changes simulation results.
+	Obs *obs.Observer
 }
 
 func (o SimOptions) withDefaults() SimOptions {
@@ -164,6 +169,7 @@ func (nw *Network) NewSim(opts SimOptions) (*netsim.Sim, error) {
 		LatencySampleEvery: opts.LatencySampleEvery,
 		Planes:             opts.Planes,
 		Workers:            opts.Workers,
+		Obs:                opts.Obs,
 	})
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/model"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/routing"
 	"repro/internal/schedule"
@@ -27,6 +28,10 @@ type Fig2fPoint struct {
 	Theory float64 // r = 1/(3−x)
 	Fluid  float64 // exact link-load θ of the built schedule + router
 	Sim    float64 // saturated 128-node packet simulation (0 if skipped)
+	// Obs is the point's observability capture (slot-resolved metric
+	// series and event trace); nil unless Fig2fConfig.ObsEvery is set.
+	// Points run concurrently, so each gets its own Observer.
+	Obs *obs.Observer
 }
 
 // Fig2fConfig parameterizes the sweep.
@@ -43,6 +48,10 @@ type Fig2fConfig struct {
 	// 0 = one per available CPU, 1 = serial. Results are bit-identical
 	// for every value.
 	Workers int
+	// ObsEvery, when positive, attaches an Observer to every simulated
+	// point, snapshotting the metric series every ObsEvery slots; each
+	// point's capture is returned in Fig2fPoint.Obs.
+	ObsEvery int64
 }
 
 // DefaultFig2fConfig is the paper's setup: 128 nodes, 8 cliques,
@@ -109,12 +118,17 @@ func fig2fPoint(cfg Fig2fConfig, x float64, size workload.SizeDist, stream *rng.
 	}
 	pt := Fig2fPoint{X: x, Theory: model.SORNThroughput(x), Fluid: fl.Theta}
 	if cfg.RunSim {
+		if cfg.ObsEvery > 0 {
+			pt.Obs = obs.New(obs.Options{MetricsEvery: cfg.ObsEvery, TraceFlows: true})
+			pt.Obs.StartRun(fmt.Sprintf("x=%.2f", x))
+		}
 		st, err := nw.SimulateSaturated(core.SimOptions{
 			Seed:          stream.Uint64(),
 			WarmupSlots:   cfg.WarmupSlots,
 			MeasureSlots:  cfg.MeasureSlots,
 			TargetBacklog: cfg.Backlog,
 			Workers:       cfg.Workers,
+			Obs:           pt.Obs,
 		}, tm, size)
 		if err != nil {
 			return Fig2fPoint{}, err
@@ -312,17 +326,34 @@ type AdaptationPhase struct {
 	Throughput float64 // measured saturation r during the phase
 }
 
+// AdaptationConfig parameterizes the A5 reconfiguration experiment.
+type AdaptationConfig struct {
+	N, Nc      int
+	X1, X2     float64 // offered locality before and after the shift
+	PhaseSlots int64   // measured slots per phase (warmup is a third of it)
+	Seed       uint64
+	// Workers shards each simulation step (0 = one per CPU, 1 = serial);
+	// results are bit-identical for every value.
+	Workers int
+	// Obs, when non-nil, captures the experiment's slot-resolved metric
+	// series (labeled per phase) and event trace — phase boundaries,
+	// control-plane replans, and the mid-run reconfiguration.
+	Obs *obs.Observer
+}
+
 // Adaptation runs the semi-oblivious loop end to end in the packet
-// simulator: traffic starts at locality x1 with a matching schedule, the
-// workload shifts to x2 (mis-provisioned phase), then the control plane
+// simulator: traffic starts at locality X1 with a matching schedule, the
+// workload shifts to X2 (mis-provisioned phase), then the control plane
 // observes, re-plans q, and reconfigures (recovered phase).
-func Adaptation(n, nc int, x1, x2 float64, phaseSlots int64, seed uint64) ([]AdaptationPhase, error) {
-	a, err := core.NewAdaptive(n, nc, x1, false)
+func Adaptation(cfg AdaptationConfig) ([]AdaptationPhase, error) {
+	n := cfg.N
+	a, err := core.NewAdaptive(n, cfg.Nc, cfg.X1, false)
 	if err != nil {
 		return nil, err
 	}
+	a.Controller.Obs = cfg.Obs
 	cl := a.Network.SORN.Cliques
-	tm1, err := workload.Locality(cl, x1)
+	tm1, err := workload.Locality(cl, cfg.X1)
 	if err != nil {
 		return nil, err
 	}
@@ -330,15 +361,17 @@ func Adaptation(n, nc int, x1, x2 float64, phaseSlots int64, seed uint64) ([]Ada
 		return nil, err
 	}
 
-	sim, err := a.Network.NewSim(core.SimOptions{Seed: seed})
+	sim, err := a.Network.NewSim(core.SimOptions{Seed: cfg.Seed, Workers: cfg.Workers, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
 	size := workload.FixedSize(8)
 	measure := func(name string, tm *workload.Matrix, x float64) (AdaptationPhase, error) {
+		cfg.Obs.StartRun(name)
+		cfg.Obs.Emit(obs.Event{Slot: sim.Slot(), Type: obs.EvPhaseBegin, Src: -1, Dst: -1, Note: name})
 		st, err := sim.RunSaturated(netsim.SaturationConfig{
 			TM: tm, Size: size, TargetBacklog: 512,
-			WarmupSlots: phaseSlots / 3, MeasureSlots: phaseSlots,
+			WarmupSlots: cfg.PhaseSlots / 3, MeasureSlots: cfg.PhaseSlots,
 		})
 		if err != nil {
 			return AdaptationPhase{}, err
@@ -347,24 +380,26 @@ func Adaptation(n, nc int, x1, x2 float64, phaseSlots int64, seed uint64) ([]Ada
 			Name: name, Locality: x, Q: a.Network.SORN.RealizedQ,
 			Throughput: st.Throughput(n),
 		}
-		// Reset counters for the next phase.
+		// Reset counters for the next phase. The observability layer
+		// diffs cumulative Stats per slot and clamps at resets, so its
+		// series keeps running across phases.
 		*st = netsim.Stats{}
 		return ph, nil
 	}
 
 	var phases []AdaptationPhase
-	ph, err := measure("matched (x1)", tm1, x1)
+	ph, err := measure("matched (x1)", tm1, cfg.X1)
 	if err != nil {
 		return nil, err
 	}
 	phases = append(phases, ph)
 
-	// Workload shifts; schedule still provisioned for x1.
-	tm2, err := workload.Locality(cl, x2)
+	// Workload shifts; schedule still provisioned for X1.
+	tm2, err := workload.Locality(cl, cfg.X2)
 	if err != nil {
 		return nil, err
 	}
-	ph, err = measure("shifted, stale schedule", tm2, x2)
+	ph, err = measure("shifted, stale schedule", tm2, cfg.X2)
 	if err != nil {
 		return nil, err
 	}
@@ -379,7 +414,7 @@ func Adaptation(n, nc int, x1, x2 float64, phaseSlots int64, seed uint64) ([]Ada
 	if err := sim.Reconfigure(a.Network.Schedule, a.Network.Router); err != nil {
 		return nil, err
 	}
-	ph, err = measure("shifted, adapted schedule", tm2, x2)
+	ph, err = measure("shifted, adapted schedule", tm2, cfg.X2)
 	if err != nil {
 		return nil, err
 	}
@@ -671,29 +706,42 @@ type DiurnalPoint struct {
 	ClairvoyR float64 // fluid θ of a schedule rebuilt with perfect knowledge
 }
 
+// DiurnalConfig parameterizes the A8 diurnal-tracking experiment.
+type DiurnalConfig struct {
+	N, Nc  int
+	Lo, Hi float64 // locality oscillation bounds
+	Period int     // epochs per sinusoid cycle
+	Epochs int     // total epochs to run
+	// Obs, when non-nil, records each control-plane replan decision
+	// (estimated x, chosen q*, predicted r) as trace events.
+	Obs *obs.Observer
+}
+
 // Diurnal drives the control loop through a sinusoidal locality cycle
 // (the §6 "diurnal utilization patterns" direction): locality oscillates
-// between lo and hi over `period` epochs for `epochs` epochs. The
-// adaptive controller observes each epoch's aggregate TM and re-plans q;
-// the static design is provisioned once for the mean locality.
-func Diurnal(n, nc int, lo, hi float64, period, epochs int) ([]DiurnalPoint, error) {
+// between Lo and Hi over Period epochs for Epochs epochs. The adaptive
+// controller observes each epoch's aggregate TM and re-plans q; the
+// static design is provisioned once for the mean locality.
+func Diurnal(cfg DiurnalConfig) ([]DiurnalPoint, error) {
+	n, nc := cfg.N, cfg.Nc
 	ctl, err := controlplane.NewController(n, nc, 0.5)
 	if err != nil {
 		return nil, err
 	}
+	ctl.Obs = cfg.Obs
 	cl, err := schedule.EqualCliques(n, nc)
 	if err != nil {
 		return nil, err
 	}
-	mean := (lo + hi) / 2
+	mean := (cfg.Lo + cfg.Hi) / 2
 	static, err := core.NewSORN(n, nc, mean)
 	if err != nil {
 		return nil, err
 	}
 
 	var out []DiurnalPoint
-	for e := 0; e < epochs; e++ {
-		x := mean + (hi-lo)/2*math.Sin(2*math.Pi*float64(e)/float64(period))
+	for e := 0; e < cfg.Epochs; e++ {
+		x := mean + (cfg.Hi-cfg.Lo)/2*math.Sin(2*math.Pi*float64(e)/float64(cfg.Period))
 		tm, err := workload.Locality(cl, x)
 		if err != nil {
 			return nil, err
@@ -756,6 +804,21 @@ type FCTPoint struct {
 	Done   int64 // completed flows in the window
 }
 
+// FCTConfig parameterizes the F1 FCT-vs-load experiment.
+type FCTConfig struct {
+	N, Nc int
+	X     float64 // locality SORN is provisioned for
+	Loads []float64
+	Slots int64
+	Seed  uint64
+	// Workers shards each simulation step (0 = one per CPU, 1 = serial);
+	// results are bit-identical for every value.
+	Workers int
+	// Obs, when non-nil, captures every run's metric series, labeled
+	// "design@load" so one capture carries the whole sweep.
+	Obs *obs.Observer
+}
+
 // FCTvsLoad measures completion times of latency-sensitive short flows
 // (16 cells, the class Table 1's latency column is about) under open-loop
 // traffic at increasing offered loads, for SORN (provisioned at the
@@ -763,27 +826,29 @@ type FCTPoint struct {
 // keeps short-flow FCTs low; with heavy-tailed bulk mixes at higher
 // loads, queueing dominates medians for both designs and the comparison
 // belongs to the throughput experiments instead.
-func FCTvsLoad(n, nc int, x float64, loads []float64, slots int64, seed uint64) ([]FCTPoint, error) {
-	sorn, err := core.NewSORN(n, nc, x)
+func FCTvsLoad(cfg FCTConfig) ([]FCTPoint, error) {
+	sorn, err := core.NewSORN(cfg.N, cfg.Nc, cfg.X)
 	if err != nil {
 		return nil, err
 	}
-	sornTM, err := sorn.LocalityMatrix(x)
+	sornTM, err := sorn.LocalityMatrix(cfg.X)
 	if err != nil {
 		return nil, err
 	}
-	flat, err := core.NewORN1D(n)
+	flat, err := core.NewORN1D(cfg.N)
 	if err != nil {
 		return nil, err
 	}
-	flatTM := workload.Uniform(n)
+	flatTM := workload.Uniform(cfg.N)
 
 	size := workload.FixedSize(16)
 	var out []FCTPoint
 	run := func(nw *core.Network, tm *workload.Matrix, design string, load float64) error {
+		cfg.Obs.StartRun(fmt.Sprintf("%s@%.2f", design, load))
 		st, err := nw.SimulateOpenLoop(core.SimOptions{
-			SlotNS: 100, PropNS: 500, Seed: seed, LatencySampleEvery: 16,
-		}, tm, size, load, slots)
+			SlotNS: 100, PropNS: 500, Seed: cfg.Seed, LatencySampleEvery: 16,
+			Workers: cfg.Workers, Obs: cfg.Obs,
+		}, tm, size, load, cfg.Slots)
 		if err != nil {
 			return err
 		}
@@ -796,7 +861,7 @@ func FCTvsLoad(n, nc int, x float64, loads []float64, slots int64, seed uint64) 
 		})
 		return nil
 	}
-	for _, load := range loads {
+	for _, load := range cfg.Loads {
 		if err := run(sorn, sornTM, "SORN", load); err != nil {
 			return nil, err
 		}

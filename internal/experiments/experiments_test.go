@@ -165,7 +165,7 @@ func TestAdaptationRecovers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("packet-level adaptation run is slow")
 	}
-	phases, err := Adaptation(64, 8, 0.2, 0.8, 6000, 3)
+	phases, err := Adaptation(AdaptationConfig{N: 64, Nc: 8, X1: 0.2, X2: 0.8, PhaseSlots: 6000, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +336,7 @@ func TestStateScaling(t *testing.T) {
 }
 
 func TestDiurnalTracking(t *testing.T) {
-	pts, err := Diurnal(64, 8, 0.2, 0.8, 12, 36)
+	pts, err := Diurnal(DiurnalConfig{N: 64, Nc: 8, Lo: 0.2, Hi: 0.8, Period: 12, Epochs: 36})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +366,7 @@ func TestFCTvsLoadShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("several packet simulations")
 	}
-	pts, err := FCTvsLoad(64, 8, 0.56, []float64{0.1, 0.25}, 20000, 37)
+	pts, err := FCTvsLoad(FCTConfig{N: 64, Nc: 8, X: 0.56, Loads: []float64{0.1, 0.25}, Slots: 20000, Seed: 37})
 	if err != nil {
 		t.Fatal(err)
 	}

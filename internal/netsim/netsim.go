@@ -36,6 +36,7 @@ import (
 	"sync"
 
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/routing"
 	"repro/internal/stats"
@@ -79,6 +80,12 @@ type Config struct {
 	// value yields bit-identical Stats — see the package comment — so
 	// the choice is purely a wall-clock knob.
 	Workers int
+	// Obs, when non-nil, attaches the observability layer: per-slot
+	// metric updates, phase wall-clock timing, and an event trace (flow
+	// start/finish, failures, reconfigurations). nil — the default —
+	// costs the hot path one predictable branch per slot phase, and an
+	// enabled observer never perturbs Stats (see TestObsNonPerturbation).
+	Obs *obs.Observer
 }
 
 // FlowState tracks one flow through the simulator.
@@ -292,6 +299,7 @@ type shard struct {
 	losses   []flowLoss    // staged FlowState.lost increments
 	dirty    []int32       // staged per-pair saturation worklist entries
 	landed   int32         // cells this shard wrote into the delay line this slot
+	events   []obs.Event   // staged trace events, drained in shard order
 }
 
 // Sim is a running simulation. Create with New, drive with Step/Run
@@ -372,6 +380,20 @@ type Sim struct {
 
 	failedLink []bool // u*n+v circuits that drop transmissions; nil until FailLink
 	failedNode []bool
+
+	// stepping guards the failure-injection contract: FailLink/FailNode
+	// mutate state the transmit shards read without synchronization, so
+	// they must be called between Steps, never during one.
+	stepping bool
+
+	// obs is the optional observability layer; om caches the metric
+	// handles the per-slot hook updates. Both nil when uninstrumented.
+	// traceFlows caches obs.TraceFlows(): flow lifecycle events fire on
+	// every injection and completion, so the check must be one flag
+	// read, not an option lookup.
+	obs        *obs.Observer
+	om         *simMetrics
+	traceFlows bool
 }
 
 // New builds a simulator.
@@ -448,6 +470,13 @@ func New(cfg Config) (*Sim, error) {
 	for i := range s.shards {
 		s.shards[i].lo = i * n / cfg.Workers
 		s.shards[i].hi = (i + 1) * n / cfg.Workers
+	}
+	if cfg.Obs != nil {
+		s.obs = cfg.Obs
+		s.obs.EnsureShards(cfg.Workers)
+		s.om = newSimMetrics(cfg.Obs)
+		s.om.invNP = 1 / float64(s.n*s.planes)
+		s.traceFlows = cfg.Obs.TraceFlows()
 	}
 	return s, nil
 }
@@ -537,19 +566,70 @@ func (s *Sim) Drained() bool { return s.Backlog() == 0 && s.InFlight() == 0 }
 // StartMeasuring begins counting deliveries/injections (after warmup).
 func (s *Sim) StartMeasuring() { s.measuring = true }
 
+// failGuard enforces the failure-injection contract: FailLink and
+// FailNode mutate state — including the lazily allocated failedLink
+// bitmap — that transmit shards read with no synchronization beyond the
+// goroutine creation/join edges of runPhase. Injecting between Steps is
+// therefore safe for every worker count (each Step's goroutines start
+// after the mutation and the creation edge publishes it), while
+// injecting during a Step is a data race; the guard turns that misuse
+// into a deterministic panic instead.
+func (s *Sim) failGuard() {
+	if s.stepping {
+		panic("netsim: FailLink/FailNode called during Step; inject failures between Steps")
+	}
+}
+
 // FailLink makes the circuit u→v drop every transmission. The failure
 // bitmap is allocated lazily so fault-free simulations (the common case)
-// skip the per-transmission lookup entirely.
+// skip the per-transmission lookup entirely; see failGuard for why the
+// lazy allocation is safe mid-run. Call between Steps only.
 func (s *Sim) FailLink(u, v int) {
+	s.failGuard()
 	if s.failedLink == nil {
 		s.failedLink = make([]bool, s.n*s.n)
 	}
 	s.failedLink[u*s.n+v] = true
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{Slot: s.slot, Type: obs.EvFailLink, Src: u, Dst: v})
+	}
 }
 
-// FailNode makes node u neither transmit nor forward (deliveries to u as
-// final destination still count as losses — cells vanish).
-func (s *Sim) FailNode(u int) { s.failedNode[u] = true }
+// FailNode makes node u neither transmit nor forward. Everything already
+// queued at u is purged as lost — counted in Stats.LostCells and the
+// owning flows' Lost(), not silently vanished — so cell conservation
+// (injected = delivered + dropped + lost + queued + in-flight) holds
+// under node failures and Drained() stays reachable. Cells in flight
+// toward u are lost when they land. Call between Steps only.
+func (s *Sim) FailNode(u int) {
+	s.failGuard()
+	if s.failedNode[u] {
+		return
+	}
+	s.failedNode[u] = true
+	purged := int64(0)
+	for v := 0; v < s.n; v++ {
+		q := &s.voq[u*s.n+v]
+		for {
+			c, ok := q.pop()
+			if !ok {
+				break
+			}
+			if c.fresh {
+				s.noteFreshConsumed(nil, u, c.dst())
+			}
+			s.flow(c.flow).lost++
+			purged++
+		}
+	}
+	s.backlog[u] -= purged
+	if s.measuring {
+		s.stats.LostCells += purged
+	}
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{Slot: s.slot, Type: obs.EvFailNode, Src: u, Dst: -1, Cells: purged})
+	}
+}
 
 // InjectFlow source-routes a flow's cells and queues them at the source.
 // Each cell's route is computed as if injected one slot later than the
@@ -561,6 +641,21 @@ func (s *Sim) InjectFlow(src, dst, size int) *FlowState {
 	s.nextFlow++
 	f, fi := s.newFlow()
 	*f = FlowState{id: s.nextFlow, src: int32(src), dst: int32(dst), size: int32(size), arrival: s.slot, done: -1}
+	if s.traceFlows {
+		s.obs.Emit(obs.Event{Slot: s.slot, Type: obs.EvFlowStart, Flow: int64(f.id), Src: src, Dst: dst, Cells: int64(size)})
+	}
+	if s.failedNode[src] {
+		// A failed source can never transmit: count the whole flow as
+		// lost at injection instead of parking its cells in queues no
+		// transmit phase will ever pop. Conservation holds and
+		// Drained() stays reachable.
+		f.lost = int32(size)
+		if s.measuring {
+			s.stats.InjectedCells += int64(size)
+			s.stats.LostCells += int64(size)
+		}
+		return f
+	}
 	s.fresh[src] += int64(size)
 	if s.trackPairs {
 		s.freshPair[src*s.n+dst] += int64(size)
@@ -635,24 +730,49 @@ func (s *Sim) enqueue(sh *shard, u int, c *cell) {
 	s.backlog[u]++
 }
 
+// phaseTimeSample is the phase wall-clock sampling interval: an
+// instrumented run times its phases on one slot in phaseTimeSample.
+// Phase profiles are per-call averages, so sampling keeps them unbiased
+// while cutting the clock reads — the dominant observer cost on the hot
+// path — to a fraction the ci.sh overhead gate's budget absorbs. Must
+// be a power of two.
+const phaseTimeSample = 16
+
+// phaseTimed reports whether this slot's phases are wall-clock timed.
+func (s *Sim) phaseTimed() bool {
+	return s.obs != nil && s.slot&(phaseTimeSample-1) == 0
+}
+
 // Step advances the simulation by one slot: a landing phase sharded by
 // destination node, a barrier, a transmit phase sharded by source node,
 // and a final barrier at which per-shard staging merges in shard order.
 func (s *Sim) Step() {
+	s.stepping = true
 	period := int64(s.sched.Period())
 	for p := 0; p < s.planes; p++ {
 		s.matchRows[p] = s.sched.Slots[(s.slot+s.offsets[p])%period]
 	}
-	s.runPhase((*Sim).landShard)
+	timed := s.phaseTimed()
+	s.runPhase(obs.PhaseLand, timed, (*Sim).landShard)
 	s.ringCount[s.slot%int64(s.ringSlots)] = 0
-	s.runPhase((*Sim).transmitShard)
+	s.runPhase(obs.PhaseTransmit, timed, (*Sim).transmitShard)
 	if len(s.shards) > 1 {
-		s.mergeShards()
+		if timed {
+			t0 := s.obs.Clock()
+			s.mergeShards()
+			s.obs.AddPhase(obs.PhaseMerge, 0, t0)
+		} else {
+			s.mergeShards()
+		}
+	}
+	if s.om != nil {
+		s.obsEndSlot()
 	}
 	s.slot++
 	if s.measuring {
 		s.stats.MeasuredSlots++
 	}
+	s.stepping = false
 }
 
 // runPhase executes one phase across all shards. Serial runs inline
@@ -661,22 +781,36 @@ func (s *Sim) Step() {
 // Parallel runs one goroutine per extra shard with the caller taking
 // shard 0; the WaitGroup barrier orders every phase-k write before
 // every phase-k+1 read.
-func (s *Sim) runPhase(fn func(*Sim, int, int, *shard)) {
+func (s *Sim) runPhase(p obs.Phase, timed bool, fn func(*Sim, int, int, *shard)) {
 	if len(s.shards) == 1 {
-		fn(s, 0, s.n, nil)
+		s.runShard(p, timed, 0, 0, s.n, nil, fn)
 		return
 	}
 	var wg sync.WaitGroup
 	for i := 1; i < len(s.shards); i++ {
 		wg.Add(1)
-		go func(sh *shard) {
+		go func(i int, sh *shard) {
 			defer wg.Done()
-			fn(s, sh.lo, sh.hi, sh)
-		}(&s.shards[i])
+			s.runShard(p, timed, i, sh.lo, sh.hi, sh, fn)
+		}(i, &s.shards[i])
 	}
 	sh0 := &s.shards[0]
-	fn(s, sh0.lo, sh0.hi, sh0)
+	s.runShard(p, timed, 0, sh0.lo, sh0.hi, sh0, fn)
 	wg.Wait()
+}
+
+// runShard runs one shard of a phase, wall-clock-timed into the
+// observer's per-(phase, shard) accumulator on sampled slots. The
+// readings never feed back into simulation state, so timing cannot
+// perturb results; the uninstrumented path pays one branch.
+func (s *Sim) runShard(p obs.Phase, timed bool, i, lo, hi int, sh *shard, fn func(*Sim, int, int, *shard)) {
+	if !timed {
+		fn(s, lo, hi, sh)
+		return
+	}
+	t0 := s.obs.Clock()
+	fn(s, lo, hi, sh)
+	s.obs.AddPhase(p, i, t0)
 }
 
 // mergeShards folds every shard's staged deltas into the shared state,
@@ -698,6 +832,12 @@ func (s *Sim) mergeShards() {
 		if len(sh.dirty) > 0 {
 			s.dirtyPairs = append(s.dirtyPairs, sh.dirty...)
 			sh.dirty = sh.dirty[:0]
+		}
+		if len(sh.events) > 0 {
+			for _, e := range sh.events {
+				s.obs.Emit(e)
+			}
+			sh.events = sh.events[:0]
 		}
 	}
 }
@@ -724,6 +864,22 @@ func (s *Sim) landShard(lo, hi int, sh *shard) {
 
 // land processes a cell arriving at node v.
 func (s *Sim) land(sh *shard, v int, c *cell) {
+	if s.failedNode[v] {
+		// v failed while the cell was in flight (transmit-time drops
+		// cover only cells sent after the failure): lost on arrival.
+		if sh != nil {
+			sh.losses = append(sh.losses, flowLoss{flow: c.flow, cells: 1})
+			if s.measuring {
+				sh.stats.LostCells++
+			}
+		} else {
+			s.flow(c.flow).lost++
+			if s.measuring {
+				s.stats.LostCells++
+			}
+		}
+		return
+	}
 	c.idx++
 	if c.idx >= c.n {
 		s.deliver(sh, v, c)
@@ -765,7 +921,25 @@ func (s *Sim) deliver(sh *shard, v int, c *cell) {
 			st.CompletedFlows++
 			st.FCTSlots.Add(float64(s.slot - f.arrival))
 		}
+		if s.traceFlows {
+			s.emitEvent(sh, obs.Event{Slot: s.slot, Type: obs.EvFlowFinish, Flow: int64(f.id),
+				Src: int(f.src), Dst: int(f.dst), Cells: int64(f.size), Val: float64(s.slot - f.arrival)})
+		}
 	}
+}
+
+// emitEvent routes a simulation event either into the emitting shard's
+// staging buffer — drained into the trace in shard order at the slot
+// barrier — or, from serial contexts, straight to the trace. Shards are
+// contiguous ascending node ranges and the landing phase walks nodes in
+// order, so the merged event stream is identical for every worker
+// count. Callers check s.obs != nil first.
+func (s *Sim) emitEvent(sh *shard, e obs.Event) {
+	if sh != nil {
+		sh.events = append(sh.events, e)
+		return
+	}
+	s.obs.Emit(e)
 }
 
 // transmitShard pops one cell per plane per source node in [lo, hi)
@@ -853,6 +1027,11 @@ func (s *Sim) transmitShard(lo, hi int, sh *shard) {
 func (s *Sim) RunOpenLoop(flows []workload.Flow, until int64) error {
 	i := 0
 	for s.slot < until {
+		timed := s.phaseTimed()
+		var t0 int64
+		if timed {
+			t0 = s.obs.Clock()
+		}
 		for i < len(flows) && flows[i].Arrival <= s.slot {
 			f := flows[i]
 			if f.Arrival < 0 {
@@ -860,6 +1039,9 @@ func (s *Sim) RunOpenLoop(flows []workload.Flow, until int64) error {
 			}
 			s.InjectFlow(f.Src, f.Dst, f.Size)
 			i++
+		}
+		if timed {
+			s.obs.AddPhase(obs.PhaseInject, 0, t0)
 		}
 		s.Step()
 	}
@@ -919,11 +1101,19 @@ func (s *Sim) RunSaturated(sc SaturationConfig) (*Stats, error) {
 		if s.slot == measureAt {
 			s.StartMeasuring()
 		}
+		timed := s.phaseTimed()
+		var t0 int64
+		if timed {
+			t0 = s.obs.Clock()
+		}
 		for _, u := range active {
 			for s.fresh[u] < sc.TargetBacklog {
 				dst := sc.TM.SampleDest(u, s.rng)
 				s.InjectFlow(u, dst, sc.Size.Sample(s.rng))
 			}
+		}
+		if timed {
+			s.obs.AddPhase(obs.PhaseInject, 0, t0)
 		}
 		s.Step()
 	}
@@ -976,6 +1166,11 @@ func (s *Sim) runSaturatedPerPair(sc SaturationConfig, measureAt, end int64) (*S
 		if s.slot == measureAt {
 			s.StartMeasuring()
 		}
+		timed := s.phaseTimed()
+		var t0 int64
+		if timed {
+			t0 = s.obs.Clock()
+		}
 		// The worklist accumulates in transmit-iteration order, which is
 		// a layout detail (plane-major across worker shards); sort the
 		// batch so injection — and the rng draws it consumes — happens
@@ -988,11 +1183,19 @@ func (s *Sim) runSaturatedPerPair(sc SaturationConfig, measureAt, end int64) (*S
 			pair := int(s.dirtyPairs[i])
 			s.dirtyMark[pair] = false
 			u, d := pair/s.n, pair%s.n
+			// A FailNode purge marks the failed node's pairs dirty as it
+			// consumes their fresh cells; never top those back up.
+			if s.failedNode[u] || s.failedNode[d] {
+				continue
+			}
 			for s.freshPair[pair] < sc.PerPairBacklog {
 				s.InjectFlow(u, d, sc.Size.Sample(s.rng))
 			}
 		}
 		s.dirtyPairs = s.dirtyPairs[:0]
+		if timed {
+			s.obs.AddPhase(obs.PhaseInject, 0, t0)
+		}
 		s.Step()
 	}
 	return &s.stats, nil
@@ -1013,6 +1216,9 @@ func (s *Sim) Reconfigure(sched *matching.Schedule, router routing.Router) error
 	if router.MaxHops()+1 > maxWaypoints {
 		return fmt.Errorf("netsim: router %s exceeds %d waypoints", router.Name(), maxWaypoints)
 	}
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{Slot: s.slot, Type: obs.EvReconfigBegin, Src: -1, Dst: -1})
+	}
 	s.sched = sched
 	s.router = router
 	s.hasCircuit = matching.CircuitSet(sched)
@@ -1026,6 +1232,7 @@ func (s *Sim) Reconfigure(sched *matching.Schedule, router routing.Router) error
 	for i := range s.backlog {
 		s.backlog[i] = 0
 	}
+	moved := int64(0)
 	for u := 0; u < s.n; u++ {
 		for v := 0; v < s.n; v++ {
 			q := &old[u*s.n+v]
@@ -1035,8 +1242,12 @@ func (s *Sim) Reconfigure(sched *matching.Schedule, router routing.Router) error
 					break
 				}
 				s.rerouteFrom(nil, u, c)
+				moved++
 			}
 		}
+	}
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{Slot: s.slot, Type: obs.EvReconfigCommit, Src: -1, Dst: -1, Cells: moved})
 	}
 	return nil
 }
@@ -1142,6 +1353,10 @@ func (s *Sim) ReconfigureGraceful(sched *matching.Schedule, router routing.Route
 		s.Step()
 	}
 	stranded := removedBacklog()
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{Slot: s.slot, Type: obs.EvReconfigDrain, Src: -1, Dst: -1,
+			Val: float64(drainSlots), Cells: stranded})
+	}
 	if err := s.Reconfigure(sched, router); err != nil {
 		return drainSlots, 0, err
 	}

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"flag"
 	"math"
 	"testing"
 	"testing/quick"
@@ -8,11 +9,24 @@ import (
 	"repro/internal/fluid"
 	"repro/internal/matching"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/routing"
 	"repro/internal/schedule"
 	"repro/internal/workload"
 )
+
+// benchObs attaches an Observer to the saturated benchmarks so ci.sh
+// can measure the observability layer's hot-path overhead on one
+// machine: the same benchmark runs with and without -benchobs and the
+// two ns/op readings are compared (cross-machine ledger numbers are not
+// comparable; same-machine A/B is). The gate uses InjectSaturated — a
+// full loaded slot, injection through delivery — because a drained
+// network's idle steps make a fixed per-slot hook look artificially
+// large. Default options: the always-on layer (metrics, sampled phase
+// timing, rare events); per-flow tracing is opt-in and priced
+// separately (see obs.Options.TraceFlows).
+var benchObs = flag.Bool("benchobs", false, "attach an Observer in the saturated benchmarks (obs overhead gate)")
 
 func newSim(t *testing.T, sched *matching.Schedule, router routing.Router, seed uint64) *Sim {
 	t.Helper()
@@ -328,7 +342,11 @@ func BenchmarkStepSaturated(b *testing.B) {
 		b.Fatal(err)
 	}
 	router := routing.NewSORN(built)
-	s, err := New(Config{Schedule: built.Schedule, Router: router, SlotNS: 100, PropNS: 500, Seed: 1})
+	var ob *obs.Observer
+	if *benchObs {
+		ob = obs.New(obs.Options{})
+	}
+	s, err := New(Config{Schedule: built.Schedule, Router: router, SlotNS: 100, PropNS: 500, Seed: 1, Obs: ob})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -1029,7 +1047,11 @@ func BenchmarkInjectSaturated(b *testing.B) {
 		b.Fatal(err)
 	}
 	router := routing.NewSORN(built)
-	s, err := New(Config{Schedule: built.Schedule, Router: router, SlotNS: 100, PropNS: 500, Seed: 1})
+	var ob *obs.Observer
+	if *benchObs {
+		ob = obs.New(obs.Options{})
+	}
+	s, err := New(Config{Schedule: built.Schedule, Router: router, SlotNS: 100, PropNS: 500, Seed: 1, Obs: ob})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -1150,4 +1172,131 @@ func TestRerouteFreshCellAtDestinationConsumesFresh(t *testing.T) {
 	if s.Stats().DeliveredCells != 1 {
 		t.Fatalf("DeliveredCells = %d, want 1", s.Stats().DeliveredCells)
 	}
+}
+
+// TestCellConservationNodeFailureMidRun kills a node while its VOQs and
+// the VOQs pointing at it hold cells. The purge must surface every
+// vanished cell as LostCells (no "vanishing cells"), the network must
+// still drain, and every flow must satisfy delivered + lost == size.
+func TestCellConservationNodeFailureMidRun(t *testing.T) {
+	n := 16
+	sched := matching.RoundRobin(n)
+	v, _ := routing.NewVLB(matching.Compile(sched))
+	s := newSim(t, sched, v, 48)
+	s.StartMeasuring()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				s.InjectFlow(i, j, 3)
+			}
+		}
+	}
+	for i := 0; i < 50; i++ {
+		s.Step()
+	}
+	checkConservation(t, s)
+	before := s.Stats().LostCells
+	s.FailNode(9)
+	// The purge itself must keep the invariant, before any further Step.
+	checkConservation(t, s)
+	if s.Stats().LostCells == before {
+		t.Fatal("FailNode purged no cells from a saturated node (expected queued cells at node 9)")
+	}
+	// FailNode is idempotent: a second call must not double-count.
+	lost := s.Stats().LostCells
+	s.FailNode(9)
+	if got := s.Stats().LostCells; got != lost {
+		t.Fatalf("second FailNode changed LostCells: %d -> %d", lost, got)
+	}
+	// Injecting at a dead source is all loss, immediately accounted.
+	f := s.InjectFlow(9, 2, 5)
+	if f.Lost() != 5 || f.Delivered() != 0 {
+		t.Fatalf("flow from failed source: delivered %d lost %d, want 0/5", f.Delivered(), f.Lost())
+	}
+	checkConservation(t, s)
+	for i := 0; i < 20000 && !s.Drained(); i++ {
+		s.Step()
+		if i%500 == 0 {
+			checkConservation(t, s)
+		}
+	}
+	if !s.Drained() {
+		t.Fatal("network did not drain after node failure (cells stuck or vanished)")
+	}
+	checkConservation(t, s)
+	s.eachFlow(func(fl *FlowState) {
+		if int32(fl.Delivered())+int32(fl.Lost()) != fl.size {
+			t.Fatalf("flow %d->%d: delivered %d + lost %d != size %d",
+				fl.src, fl.dst, fl.Delivered(), fl.Lost(), fl.size)
+		}
+	})
+}
+
+// TestFailureDuringStepPanics pins the injection contract: failures are
+// only legal between Steps. The guard must fire rather than let a
+// concurrent mutation race the sharded phases.
+func TestFailureDuringStepPanics(t *testing.T) {
+	sched := matching.RoundRobin(8)
+	d, _ := routing.NewDirect(matching.Compile(sched))
+	s := newSim(t, sched, d, 49)
+	s.stepping = true // as if called from inside Step's sharded phases
+	for name, fn := range map[string]func(){
+		"FailLink": func() { s.FailLink(0, 1) },
+		"FailNode": func() { s.FailNode(2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s during Step did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	s.stepping = false
+	// Between Steps both calls are legal again.
+	s.FailLink(0, 1)
+	s.FailNode(2)
+}
+
+// TestFailLinkBetweenStepsParallel pins the documented lazy-bitmap
+// contract: a FailLink injected between Steps is visible to every worker
+// from the very next Step, at any worker count, with identical results.
+func TestFailLinkBetweenStepsParallel(t *testing.T) {
+	runScenario(t, func(t *testing.T, workers int) *Sim {
+		n := 16
+		sched := matching.RoundRobin(n)
+		v, err := routing.NewVLB(matching.Compile(sched))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{Schedule: sched, Router: v, SlotNS: 100, PropNS: 500,
+			Seed: 50, LatencySampleEvery: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.StartMeasuring()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					s.InjectFlow(i, j, 2)
+				}
+			}
+		}
+		// Interleave failures with stepping, always on the step boundary.
+		for i := 0; i < 30; i++ {
+			s.Step()
+		}
+		s.FailLink(0, 3)
+		for i := 0; i < 30; i++ {
+			s.Step()
+		}
+		s.FailLink(7, 2)
+		s.FailLink(3, 0)
+		for i := 0; i < 20000 && !s.Drained(); i++ {
+			s.Step()
+		}
+		checkConservation(t, s)
+		return s
+	})
 }

@@ -1,0 +1,86 @@
+package netsim
+
+import "repro/internal/obs"
+
+// simMetrics caches the metric handles the per-slot observability hook
+// updates, plus the previous cumulative Stats snapshot it diffs against
+// to derive per-slot deltas. It exists only when Config.Obs is set; the
+// uninstrumented hot path pays a single nil check per Step.
+type simMetrics struct {
+	delivered *obs.Counter
+	injected  *obs.Counter
+	sent      *obs.Counter
+	lost      *obs.Counter
+	dropped   *obs.Counter
+	completed *obs.Counter
+	backlog   *obs.Gauge
+	inflight  *obs.Gauge
+	thpt      *obs.Rate
+
+	// invNP caches 1/(n·planes) so the per-slot throughput observation
+	// is one multiply instead of two divides.
+	invNP float64
+
+	prevDelivered int64
+	prevInjected  int64
+	prevSent      int64
+	prevLost      int64
+	prevDropped   int64
+	prevCompleted int64
+}
+
+func newSimMetrics(o *obs.Observer) *simMetrics {
+	return &simMetrics{
+		delivered: o.Counter("delivered_cells"),
+		injected:  o.Counter("injected_cells"),
+		sent:      o.Counter("sent_cells"),
+		lost:      o.Counter("lost_cells"),
+		dropped:   o.Counter("dropped_cells"),
+		completed: o.Counter("completed_flows"),
+		backlog:   o.Gauge("backlog_cells"),
+		inflight:  o.Gauge("inflight_cells"),
+		thpt:      o.Rate("throughput"),
+	}
+}
+
+// statDelta returns cur−*prev and updates *prev. Experiments reset the
+// shared Stats between measurement phases (e.g. Adaptation zeroes the
+// struct), which would make a naive delta negative; the clamp treats the
+// post-reset cumulative value as the whole delta instead.
+func statDelta(cur int64, prev *int64) int64 {
+	d := cur - *prev
+	if d < 0 {
+		d = cur
+	}
+	*prev = cur
+	return d
+}
+
+// obsEndSlot is the per-slot observability hook, run at the end of Step
+// after the merge barrier: it folds the slot's Stats deltas into the
+// registry counters and observes the slot's per-node-per-plane
+// throughput into the windowed rate. The point-in-time gauges (backlog
+// sweep, in-flight sum) cost a loop each, so they are computed only on
+// the slots where the observer snapshots a series row — the only place
+// a gauge value is read. Strictly read-only with respect to simulation
+// state.
+func (s *Sim) obsEndSlot() {
+	m := s.om
+	dDelivered := statDelta(s.stats.DeliveredCells, &m.prevDelivered)
+	m.delivered.Add(dDelivered)
+	m.injected.Add(statDelta(s.stats.InjectedCells, &m.prevInjected))
+	m.sent.Add(statDelta(s.stats.SentCells, &m.prevSent))
+	m.lost.Add(statDelta(s.stats.LostCells, &m.prevLost))
+	m.dropped.Add(statDelta(s.stats.DroppedCells, &m.prevDropped))
+	m.completed.Add(statDelta(s.stats.CompletedFlows, &m.prevCompleted))
+	m.thpt.Observe(float64(dDelivered) * m.invNP)
+	if s.obs.SnapshotDue(s.slot) {
+		m.backlog.Set(float64(s.Backlog()))
+		inflight := int64(0)
+		for _, c := range s.ringCount {
+			inflight += int64(c)
+		}
+		m.inflight.Set(float64(inflight))
+		s.obs.EndSlot(s.slot)
+	}
+}

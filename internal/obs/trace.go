@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// Event types the simulator and control plane emit. The trace schema is
+// one flat Event struct rather than per-type payloads so JSONL/CSV rows
+// stay uniform and greppable.
+const (
+	// EvFlowStart / EvFlowFinish bracket a flow: Flow/Src/Dst/Cells
+	// describe it, and on finish Val is the completion time in slots.
+	EvFlowStart  = "flow_start"
+	EvFlowFinish = "flow_finish"
+	// EvFailLink marks a FailLink(Src, Dst) injection.
+	EvFailLink = "fail_link"
+	// EvFailNode marks a FailNode(Src) injection; Cells is how many
+	// queued cells the failure lost.
+	EvFailNode = "fail_node"
+	// EvReconfigBegin / EvReconfigCommit bracket a schedule swap; on
+	// commit Cells is the number of queued cells re-routed. EvReconfigDrain
+	// reports a graceful update's drain: Val is the slots spent draining,
+	// Cells the stranded cells force-re-routed at expiry.
+	EvReconfigBegin  = "reconfig_begin"
+	EvReconfigDrain  = "reconfig_drain"
+	EvReconfigCommit = "reconfig_commit"
+	// EvReplan is a control-plane decision: X is the estimated locality,
+	// Q the chosen oversubscription q*, Nc the clique count, Val the
+	// predicted worst-case throughput, Epoch the decision ordinal.
+	EvReplan = "replan"
+	// EvPhaseBegin marks an experiment phase boundary (Note names it).
+	EvPhaseBegin = "phase_begin"
+	// EvRunBegin marks a new run on a reused Observer (Note is the label).
+	EvRunBegin = "run_begin"
+)
+
+// Event is one trace entry. Slot is the simulation slot it happened at
+// (control-plane events use Epoch instead and carry Src/Dst −1). Fields
+// that do not apply to a type are zero and omitted from JSONL.
+type Event struct {
+	Slot  int64   `json:"slot"`
+	Epoch int64   `json:"epoch,omitempty"`
+	Type  string  `json:"type"`
+	Flow  int64   `json:"flow,omitempty"`
+	Src   int     `json:"src"`
+	Dst   int     `json:"dst"`
+	Cells int64   `json:"cells,omitempty"`
+	Q     float64 `json:"q,omitempty"`
+	X     float64 `json:"x,omitempty"`
+	Nc    int     `json:"nc,omitempty"`
+	Val   float64 `json:"val,omitempty"`
+	Note  string  `json:"note,omitempty"`
+}
+
+// traceEntry tags an event with its emission ordinal so the two trace
+// tiers can be merged back into emission order on read.
+type traceEntry struct {
+	seq int64
+	e   Event
+}
+
+// Trace is a bounded event store with two tiers: high-rate flow
+// lifecycle events and the rare control events (failures,
+// reconfigurations, replans, run/phase marks) live in separate rings of
+// TraceCap entries each. A long saturated run emits flow events far
+// faster than control events, and with a single ring the flow chatter
+// evicts exactly the entries a reader needs to interpret the series —
+// the tiers keep eviction pressure within a class. Events() merges the
+// tiers back into emission order; both rings grow lazily, so the
+// control tier's generous bound costs nothing while control events stay
+// rare.
+type Trace struct {
+	flows ring[traceEntry]
+	ctrl  ring[traceEntry]
+	seq   int64
+}
+
+func newTrace(capacity int) *Trace {
+	return &Trace{
+		flows: newRing[traceEntry](capacity),
+		ctrl:  newRing[traceEntry](capacity),
+	}
+}
+
+func (t *Trace) add(e Event) {
+	t.seq++
+	en := traceEntry{seq: t.seq, e: e}
+	if e.Type == EvFlowStart || e.Type == EvFlowFinish {
+		t.flows.add(en)
+	} else {
+		t.ctrl.add(en)
+	}
+}
+
+// Events returns the retained events in emission order, oldest first.
+func (t *Trace) Events() []Event {
+	a, b := t.flows.items(), t.ctrl.items()
+	out := make([]Event, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].seq < b[j].seq {
+			out = append(out, a[i].e)
+			i++
+		} else {
+			out = append(out, b[j].e)
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		out = append(out, a[i].e)
+	}
+	for ; j < len(b); j++ {
+		out = append(out, b[j].e)
+	}
+	return out
+}
+
+// Dropped returns how many events were overwritten across both tiers.
+func (t *Trace) Dropped() int64 { return t.flows.dropped + t.ctrl.dropped }
+
+// WriteTraceJSONL emits the retained events as JSON Lines, oldest
+// first.
+func (o *Observer) WriteTraceJSONL(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range o.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// traceCSVHeader is the fixed column set of the CSV trace emitter.
+var traceCSVHeader = []string{
+	"slot", "epoch", "type", "flow", "src", "dst", "cells", "q", "x", "nc", "val", "note",
+}
+
+// WriteTraceCSV emits the retained events as CSV with a header row.
+func (o *Observer) WriteTraceCSV(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceCSVHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, e := range o.Events() {
+		row := []string{
+			strconv.FormatInt(e.Slot, 10),
+			strconv.FormatInt(e.Epoch, 10),
+			e.Type,
+			strconv.FormatInt(e.Flow, 10),
+			strconv.Itoa(e.Src),
+			strconv.Itoa(e.Dst),
+			strconv.FormatInt(e.Cells, 10),
+			f(e.Q), f(e.X),
+			strconv.Itoa(e.Nc),
+			f(e.Val),
+			e.Note,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -43,8 +43,15 @@ func (s *Summary) Add(v float64) {
 // Count returns the number of observations.
 func (s *Summary) Count() int64 { return s.n }
 
-// Mean returns the running mean, or 0 with no observations.
-func (s *Summary) Mean() float64 { return s.mean }
+// Mean returns the running mean, or NaN with no observations: an empty
+// summary has no mean, and a silent 0 reads as a (wrong) measurement in
+// downstream tables.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
 
 // Variance returns the sample variance, or 0 for fewer than 2 observations.
 func (s *Summary) Variance() float64 {
@@ -57,11 +64,21 @@ func (s *Summary) Variance() float64 {
 // Stddev returns the sample standard deviation.
 func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
 
-// Min returns the smallest observation, or 0 with no observations.
-func (s *Summary) Min() float64 { return s.min }
+// Min returns the smallest observation, or NaN with no observations.
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
 
-// Max returns the largest observation, or 0 with no observations.
-func (s *Summary) Max() float64 { return s.max }
+// Max returns the largest observation, or NaN with no observations.
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
 
 // Sample retains every observation and answers percentile queries exactly.
 // Suitable for the volumes this repository produces (≤ millions of points).
@@ -80,10 +97,12 @@ func (s *Sample) Add(v float64) {
 func (s *Sample) Count() int { return len(s.xs) }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) by linear
-// interpolation between closest ranks. It returns 0 with no observations.
+// interpolation between closest ranks. It returns NaN with no
+// observations — consistent with Mean, and distinguishable from a real
+// zero-latency percentile.
 func (s *Sample) Percentile(p float64) float64 {
 	if len(s.xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	if !s.sorted {
 		sort.Float64s(s.xs)
@@ -127,10 +146,10 @@ func (s *Sample) Values() []float64 {
 	return out
 }
 
-// Mean returns the arithmetic mean of the sample.
+// Mean returns the arithmetic mean of the sample, or NaN when empty.
 func (s *Sample) Mean() float64 {
 	if len(s.xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	sum := 0.0
 	for _, v := range s.xs {
@@ -139,7 +158,7 @@ func (s *Sample) Mean() float64 {
 	return sum / float64(len(s.xs))
 }
 
-// Max returns the largest observation, or 0 with no observations.
+// Max returns the largest observation, or NaN with no observations.
 func (s *Sample) Max() float64 { return s.Percentile(100) }
 
 // LogHistogram buckets positive values into base-2 logarithmic bins, which

@@ -30,8 +30,12 @@ func TestSummaryBasics(t *testing.T) {
 
 func TestSummaryEmptyAndSingle(t *testing.T) {
 	var s Summary
-	if s.Mean() != 0 || s.Variance() != 0 || s.Count() != 0 {
-		t.Fatal("empty summary not zero")
+	// An empty summary has no mean/min/max: NaN, not a misleading 0.
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatalf("empty summary mean/min/max = %f/%f/%f, want NaN", s.Mean(), s.Min(), s.Max())
+	}
+	if s.Variance() != 0 || s.Count() != 0 {
+		t.Fatal("empty summary variance/count not zero")
 	}
 	s.Add(7)
 	if s.Variance() != 0 || s.Mean() != 7 || s.Min() != 7 || s.Max() != 7 {
@@ -121,8 +125,14 @@ func TestPercentileInterleavedAdd(t *testing.T) {
 
 func TestEmptySample(t *testing.T) {
 	var s Sample
-	if s.Percentile(50) != 0 || s.Mean() != 0 || s.Count() != 0 {
-		t.Fatal("empty sample should report zeros")
+	// Empty-sample queries return NaN across the board — Percentile,
+	// Mean, and Max (which delegates to Percentile) agree.
+	if !math.IsNaN(s.Percentile(50)) || !math.IsNaN(s.Mean()) || !math.IsNaN(s.Max()) {
+		t.Fatalf("empty sample p50/mean/max = %f/%f/%f, want NaN",
+			s.Percentile(50), s.Mean(), s.Max())
+	}
+	if s.Count() != 0 {
+		t.Fatal("empty sample count not zero")
 	}
 }
 

@@ -23,6 +23,16 @@
 #                               its JSON emitter parses the output; no
 #                               thresholds, and the committed
 #                               BENCH_netsim.json is left untouched
+#   9. obs overhead gate     -- BenchmarkInjectSaturated (one full
+#                               saturated slot, injection through
+#                               delivery) run twice on this machine,
+#                               observer off then on (-benchobs),
+#                               compared via `benchjson compare`; fails
+#                               if attaching the observability layer
+#                               costs >5% ns/op. (Same-machine A/B:
+#                               committed ledger entries from other
+#                               hosts are not comparable in absolute
+#                               ns/op.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,13 +56,33 @@ go run ./cmd/sornlint ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race -run TestParallelDeterminism ./internal/netsim/"
-go test -race -run 'TestParallelDeterminism' ./internal/netsim/
+echo "== go test -race -run 'TestParallelDeterminism|TestObsNonPerturbation' ./internal/netsim/"
+go test -race -run 'TestParallelDeterminism|TestObsNonPerturbation' ./internal/netsim/
 
 echo "== go test -race ./..."
 go test -race ./...
 
 echo "== scripts/bench.sh -quick"
 ./scripts/bench.sh -quick
+
+echo "== obs overhead gate (InjectSaturated, observer off vs on, 5% budget)"
+obsdir="$(mktemp -d)"
+trap 'rm -rf "$obsdir"' EXIT
+# Prebuild both binaries so compilation never competes with the timed
+# runs for CPU. Interleave off/on passes so slow-machine drift hits both
+# labels alike, and let benchjson keep the best ns/op per label.
+go build -o "$obsdir/benchjson" ./cmd/benchjson
+go test -run NONE -c -o "$obsdir/netsim.test" ./internal/netsim/
+for pass in 1 2 3; do
+  (cd internal/netsim && "$obsdir/netsim.test" -test.run NONE \
+    -test.bench 'BenchmarkInjectSaturated$' -test.benchtime 20000x -test.count 2) \
+    >>"$obsdir/off.txt"
+  (cd internal/netsim && "$obsdir/netsim.test" -test.run NONE \
+    -test.bench 'BenchmarkInjectSaturated$' -test.benchtime 20000x -test.count 2 -benchobs) \
+    >>"$obsdir/on.txt"
+done
+"$obsdir/benchjson" -label obs-off -out "$obsdir/ledger.json" <"$obsdir/off.txt"
+"$obsdir/benchjson" -label obs-on -out "$obsdir/ledger.json" <"$obsdir/on.txt"
+"$obsdir/benchjson" compare -out "$obsdir/ledger.json" obs-off obs-on
 
 echo "== ci.sh: all checks passed"
