@@ -22,6 +22,11 @@
 // 5% — wire it into CI to keep the hot path from quietly backsliding:
 //
 //	benchjson compare pr3-before pr3-after
+//
+// Benchmarks present in only one entry are listed explicitly as added
+// or removed; the regression gate judges only benchmarks shared by both
+// entries, and two entries with no shared benchmarks compare clean
+// (exit 0) with a notice, since there is nothing to gate.
 package main
 
 import (
@@ -141,38 +146,54 @@ func compareMain(args []string) int {
 		}
 	}
 
-	names := make([]string, 0, len(a.Bench))
+	// The suite's composition changes across PRs (benchmarks are added
+	// and retired), so the gate judges only benchmarks present in both
+	// runs; composition changes are reported explicitly instead of
+	// being an error or silently folded into the table.
+	var shared, removed []string
 	for _, name := range sortedmap.Keys(a.Bench) {
 		if b.Bench[name] != nil {
-			names = append(names, name)
+			shared = append(shared, name)
+		} else {
+			removed = append(removed, name)
 		}
 	}
-	if len(names) == 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: labels %q and %q share no benchmarks\n", a.Label, b.Label)
-		return 2
-	}
-
-	fmt.Printf("%-34s %14s %14s %9s %9s %9s\n",
-		"benchmark", a.Label+" ns/op", b.Label+" ns/op", "speedup", "Δns/op", "Δallocs")
-	regressed := false
-	for _, name := range names {
-		ba, bb := a.Bench[name], b.Bench[name]
-		line := fmt.Sprintf("%-34s %14.0f %14.0f %8.2fx %8.1f%% %9s",
-			strings.TrimPrefix(name, "Benchmark"),
-			ba.NsPerOp, bb.NsPerOp,
-			ba.NsPerOp/bb.NsPerOp,
-			(bb.NsPerOp/ba.NsPerOp-1)*100,
-			deltaPct(ba.AllocsPerOp, bb.AllocsPerOp))
-		if bb.NsPerOp > ba.NsPerOp*(1+regressionLimit) {
-			line += "  REGRESSION"
-			regressed = true
-		}
-		fmt.Println(line)
-	}
+	var added []string
 	for _, name := range sortedmap.Keys(b.Bench) {
 		if a.Bench[name] == nil {
-			fmt.Printf("%-34s (only in %s)\n", strings.TrimPrefix(name, "Benchmark"), b.Label)
+			added = append(added, name)
 		}
+	}
+
+	regressed := false
+	if len(shared) > 0 {
+		fmt.Printf("%-34s %14s %14s %9s %9s %9s\n",
+			"benchmark", a.Label+" ns/op", b.Label+" ns/op", "speedup", "Δns/op", "Δallocs")
+		for _, name := range shared {
+			ba, bb := a.Bench[name], b.Bench[name]
+			line := fmt.Sprintf("%-34s %14.0f %14.0f %8.2fx %8.1f%% %9s",
+				strings.TrimPrefix(name, "Benchmark"),
+				ba.NsPerOp, bb.NsPerOp,
+				ba.NsPerOp/bb.NsPerOp,
+				(bb.NsPerOp/ba.NsPerOp-1)*100,
+				deltaPct(ba.AllocsPerOp, bb.AllocsPerOp))
+			if bb.NsPerOp > ba.NsPerOp*(1+regressionLimit) {
+				line += "  REGRESSION"
+				regressed = true
+			}
+			fmt.Println(line)
+		}
+	}
+	for _, name := range added {
+		fmt.Printf("%-34s added in %s\n", strings.TrimPrefix(name, "Benchmark"), b.Label)
+	}
+	for _, name := range removed {
+		fmt.Printf("%-34s removed since %s\n", strings.TrimPrefix(name, "Benchmark"), a.Label)
+	}
+	if len(shared) == 0 {
+		fmt.Printf("benchjson: labels %q and %q share no benchmarks (%d added, %d removed); nothing to gate\n",
+			a.Label, b.Label, len(added), len(removed))
+		return 0
 	}
 	if regressed {
 		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression over %.0f%% between %q and %q\n",

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeLedger writes a two-run ledger for compare tests.
+func writeLedger(t *testing.T, aBench, bBench map[string]*Bench) string {
+	t.Helper()
+	ledger := Ledger{Runs: []*Run{
+		{Label: "before", Bench: aBench},
+		{Label: "after", Bench: bBench},
+	}}
+	data, err := json.Marshal(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ledger.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func compare(t *testing.T, path string) int {
+	t.Helper()
+	return compareMain([]string{"-out", path, "before", "after"})
+}
+
+// TestCompareGatesOnlySharedBenchmarks: a regression in a shared
+// benchmark fails the compare; added and removed benchmarks do not
+// participate in the gate.
+func TestCompareGatesOnlySharedBenchmarks(t *testing.T) {
+	path := writeLedger(t,
+		map[string]*Bench{
+			"BenchmarkStep": {NsPerOp: 100},
+			"BenchmarkOld":  {NsPerOp: 50}, // removed in after
+		},
+		map[string]*Bench{
+			"BenchmarkStep": {NsPerOp: 120},  // 20% regression
+			"BenchmarkNew":  {NsPerOp: 9999}, // added; must not gate
+		})
+	if got := compare(t, path); got != 1 {
+		t.Errorf("regressed shared benchmark: compare = %d, want 1", got)
+	}
+}
+
+// TestCompareCleanWithCompositionChanges: within-limit shared deltas
+// pass even when the suite composition changed around them.
+func TestCompareCleanWithCompositionChanges(t *testing.T) {
+	path := writeLedger(t,
+		map[string]*Bench{
+			"BenchmarkStep": {NsPerOp: 100},
+			"BenchmarkOld":  {NsPerOp: 50},
+		},
+		map[string]*Bench{
+			"BenchmarkStep": {NsPerOp: 103}, // within the 5% limit
+			"BenchmarkNew":  {NsPerOp: 1},
+		})
+	if got := compare(t, path); got != 0 {
+		t.Errorf("clean shared benchmark: compare = %d, want 0", got)
+	}
+}
+
+// TestCompareNoSharedBenchmarks: disjoint suites have nothing to gate,
+// so the compare reports the composition change and exits clean.
+func TestCompareNoSharedBenchmarks(t *testing.T) {
+	path := writeLedger(t,
+		map[string]*Bench{"BenchmarkOld": {NsPerOp: 50}},
+		map[string]*Bench{"BenchmarkNew": {NsPerOp: 60}})
+	if got := compare(t, path); got != 0 {
+		t.Errorf("disjoint suites: compare = %d, want 0", got)
+	}
+}
+
+// TestCompareUnknownLabel stays a hard usage error.
+func TestCompareUnknownLabel(t *testing.T) {
+	path := writeLedger(t,
+		map[string]*Bench{"BenchmarkStep": {NsPerOp: 100}},
+		map[string]*Bench{"BenchmarkStep": {NsPerOp: 100}})
+	if got := compareMain([]string{"-out", path, "before", "nosuch"}); got != 2 {
+		t.Errorf("unknown label: compare = %d, want 2", got)
+	}
+}

@@ -7,8 +7,17 @@
 //	go run ./cmd/sornlint ./...          # whole module (the default)
 //	go run ./cmd/sornlint -rules         # list the rules
 //	go run ./cmd/sornlint -only maporder ./...
+//	go run ./cmd/sornlint -json ./...    # machine-readable report
+//	go run ./cmd/sornlint -json -baseline lint_baseline.json ./...
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load error.
+// With -baseline, findings recorded in the baseline file are tolerated
+// and only new findings are reported — CI gates on the diff while the
+// repository burns down pre-existing findings. The baseline file is the
+// -json output format, so regenerating it is one redirect (see
+// scripts/lint-baseline.sh).
+//
+// Exit status: 0 clean (or no new findings), 1 findings, 2 usage or
+// load error.
 package main
 
 import (
@@ -23,6 +32,8 @@ import (
 func main() {
 	listRules := flag.Bool("rules", false, "list the available rules and exit")
 	only := flag.String("only", "", "comma-separated subset of rules to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as JSON (the baseline format)")
+	baseline := flag.String("baseline", "", "baseline file: tolerate its findings, report only new ones")
 	flag.Parse()
 
 	if *listRules {
@@ -72,11 +83,38 @@ func main() {
 		os.Exit(2)
 	}
 	findings := lint.Run(pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Println(f)
+
+	baselined := 0
+	if *baseline != "" {
+		base, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sornlint:", err)
+			os.Exit(2)
+		}
+		fresh := base.Diff(findings, root)
+		baselined = len(findings) - len(fresh)
+		findings = fresh
+	}
+
+	if *asJSON {
+		if err := lint.NewReport(findings, root).Write(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "sornlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "sornlint: %d finding(s)\n", len(findings))
+		what := "finding(s)"
+		if *baseline != "" {
+			what = "new finding(s) not in the baseline"
+		}
+		fmt.Fprintf(os.Stderr, "sornlint: %d %s\n", len(findings), what)
 		os.Exit(1)
+	}
+	if baselined > 0 {
+		fmt.Fprintf(os.Stderr, "sornlint: clean (%d baselined finding(s) tolerated)\n", baselined)
 	}
 }

@@ -367,8 +367,10 @@ func Adaptation(cfg AdaptationConfig) ([]AdaptationPhase, error) {
 	}
 	size := workload.FixedSize(8)
 	measure := func(name string, tm *workload.Matrix, x float64) (AdaptationPhase, error) {
-		cfg.Obs.StartRun(name)
-		cfg.Obs.Emit(obs.Event{Slot: sim.Slot(), Type: obs.EvPhaseBegin, Src: -1, Dst: -1, Note: name})
+		if cfg.Obs != nil {
+			cfg.Obs.StartRun(name)
+			cfg.Obs.Emit(obs.Event{Slot: sim.Slot(), Type: obs.EvPhaseBegin, Src: -1, Dst: -1, Note: name})
+		}
 		st, err := sim.RunSaturated(netsim.SaturationConfig{
 			TM: tm, Size: size, TargetBacklog: 512,
 			WarmupSlots: cfg.PhaseSlots / 3, MeasureSlots: cfg.PhaseSlots,
@@ -844,7 +846,9 @@ func FCTvsLoad(cfg FCTConfig) ([]FCTPoint, error) {
 	size := workload.FixedSize(16)
 	var out []FCTPoint
 	run := func(nw *core.Network, tm *workload.Matrix, design string, load float64) error {
-		cfg.Obs.StartRun(fmt.Sprintf("%s@%.2f", design, load))
+		if cfg.Obs != nil {
+			cfg.Obs.StartRun(fmt.Sprintf("%s@%.2f", design, load))
+		}
 		st, err := nw.SimulateOpenLoop(core.SimOptions{
 			SlotNS: 100, PropNS: 500, Seed: cfg.Seed, LatencySampleEvery: 16,
 			Workers: cfg.Workers, Obs: cfg.Obs,

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// JSONFinding is the machine-readable form of a Finding. File paths are
+// repository-relative with forward slashes so a committed baseline is
+// portable across checkouts. Line and column are informational only —
+// baseline matching deliberately ignores them, because unrelated edits
+// shift lines without changing what the finding is.
+type JSONFinding struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// Report is the top-level JSON document `sornlint -json` emits. A
+// baseline file is a saved Report, so regenerating the baseline is
+// exactly `sornlint -json ./... > lint_baseline.json`.
+type Report struct {
+	Findings []JSONFinding `json:"findings"`
+}
+
+// NewReport converts findings to their JSON form, relativizing file
+// paths against root.
+func NewReport(findings []Finding, root string) *Report {
+	r := &Report{Findings: make([]JSONFinding, 0, len(findings))}
+	for _, f := range findings {
+		r.Findings = append(r.Findings, JSONFinding{
+			File: relPath(root, f.Pos.Filename),
+			Line: f.Pos.Line,
+			Col:  f.Pos.Column,
+			Rule: f.Rule,
+			Msg:  f.Msg,
+		})
+	}
+	return r
+}
+
+// Write emits the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// LoadBaseline reads a saved Report. A missing file is not an error: it
+// is the empty baseline, so bootstrapping needs no special case.
+func LoadBaseline(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Report{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// baselineKey identifies a finding for baseline matching: file, rule,
+// and message — not line numbers, which drift under unrelated edits.
+func baselineKey(file, rule, msg string) string {
+	return file + "\x00" + rule + "\x00" + msg
+}
+
+// Diff returns the findings not covered by the baseline: for each
+// (file, rule, msg) key, occurrences beyond the baselined count are
+// new. Findings must already be in Run's sorted order; the returned
+// slice preserves it.
+func (b *Report) Diff(findings []Finding, root string) []Finding {
+	allowed := make(map[string]int, len(b.Findings))
+	for _, f := range b.Findings {
+		allowed[baselineKey(f.File, f.Rule, f.Msg)]++
+	}
+	var fresh []Finding
+	for _, f := range findings {
+		key := baselineKey(relPath(root, f.Pos.Filename), f.Rule, f.Msg)
+		if allowed[key] > 0 {
+			allowed[key]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh
+}
+
+// relPath relativizes filename against root with forward slashes,
+// falling back to the input when it is not under root.
+func relPath(root, filename string) string {
+	if root == "" {
+		return filepath.ToSlash(filename)
+	}
+	rel, err := filepath.Rel(root, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
+}

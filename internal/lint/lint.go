@@ -1,4 +1,4 @@
-// Package lint is a small static-analysis framework, built only on the
+// Package lint is a static-analysis framework, built only on the
 // standard library's go/ast, go/parser, and go/types, that enforces this
 // repository's determinism and correctness discipline. Every number the
 // repo produces (Table 1, Figure 2f, the ablation sweeps) is only
@@ -8,9 +8,21 @@
 // package-level RNG state, order-sensitive iteration over maps, exact
 // floating-point equality, and dropped errors.
 //
+// On top of the per-file rules, a whole-program layer (see Module in
+// callgraph.go) builds a lightweight callgraph over the type-checked
+// module and enforces the sharded simulator's conventions statically:
+// worker phases may only write staged per-shard state (shardsafety),
+// annotated hot paths must not heap-allocate (hotalloc), Observer calls
+// must be nil-guarded and never emitted from worker code (obsnil), and
+// suppression directives that suppress nothing are themselves findings
+// (stalesuppress). The invariants the rules consume are declared in
+// source with //sornlint:<verb> annotations (see annotations.go).
+//
 // The analyzers run over fully type-checked packages (see Loader), are
 // wired into tier-1 via the repository-root lint_test.go, and are
-// runnable standalone with `go run ./cmd/sornlint ./...`.
+// runnable standalone with `go run ./cmd/sornlint ./...`. Analysis runs
+// one package per worker and merges findings in fixed package order —
+// the same determinism discipline the rules enforce.
 //
 // A finding can be suppressed with an inline directive on the same line
 // or the line directly above it:
@@ -18,7 +30,10 @@
 //	//sornlint:ignore maporder -- keys are sorted below
 //
 // The directive names exactly the rules it suppresses (comma-separated);
-// everything after " -- " is a free-form justification.
+// everything after " -- " is a free-form justification. A directive
+// inside a declaration's doc comment also covers the declaration's
+// first line. Directives naming unknown rules, or suppressing zero
+// findings, are reported by the stalesuppress rule.
 package lint
 
 import (
@@ -26,8 +41,11 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Finding is one rule violation at one source position.
@@ -49,9 +67,14 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// Analyzers returns every rule, in reporting order.
+// Analyzers returns every rule, in reporting order. StaleSuppress is
+// last by construction: it audits the suppression accounting the other
+// rules produce.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoDeterm, RNGDiscipline, MapOrder, FloatEq, DroppedErr}
+	return []*Analyzer{
+		NoDeterm, RNGDiscipline, MapOrder, FloatEq, DroppedErr,
+		ShardSafety, HotAlloc, ObsNil, StaleSuppress,
+	}
 }
 
 // AnalyzerByName returns the named rule, or nil.
@@ -64,6 +87,15 @@ func AnalyzerByName(name string) *Analyzer {
 	return nil
 }
 
+// directive is one //sornlint:ignore comment: where it is, which rules
+// it names, and how many findings it suppressed per rule. The counts
+// feed the stalesuppress rule.
+type directive struct {
+	pos   token.Position
+	rules []string
+	used  map[string]int
+}
+
 // Pass is the per-package state handed to each analyzer.
 type Pass struct {
 	ModulePath string
@@ -73,9 +105,15 @@ type Pass struct {
 	Pkg        *types.Package
 	Info       *types.Info
 
-	testFiles map[*ast.File]bool
-	ignores   map[string]map[int]map[string]bool // filename -> line -> rule set
-	findings  *[]Finding
+	// Mod is the whole-program context (annotations, callgraph,
+	// reachability); non-nil for every Run.
+	Mod *Module
+
+	testFiles  map[*ast.File]bool
+	active     map[string]bool                          // analyzer names in this run
+	ignores    map[string]map[int]map[string]*directive // filename -> line -> rule -> directive
+	directives []*directive                             // in source order
+	findings   *[]Finding
 }
 
 // IsTestFile reports whether f came from a _test.go file.
@@ -86,12 +124,23 @@ func (p *Pass) InternalPkg() bool {
 	return strings.HasPrefix(p.PkgPath, p.ModulePath+"/internal/")
 }
 
-// Reportf records a finding unless an ignore directive suppresses it.
+// FuncKey resolves a function declaration to its canonical callgraph
+// key, or "".
+func (p *Pass) FuncKey(fd *ast.FuncDecl) string {
+	if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+		return funcKey(fn)
+	}
+	return ""
+}
+
+// Reportf records a finding unless an ignore directive suppresses it;
+// either way the directive's usage accounting is updated.
 func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...interface{}) {
 	position := p.Fset.Position(pos)
 	if lines, ok := p.ignores[position.Filename]; ok {
 		for _, l := range []int{position.Line, position.Line - 1} {
-			if lines[l][rule] {
+			if d := lines[l][rule]; d != nil {
+				d.used[rule]++
 				return
 			}
 		}
@@ -106,9 +155,14 @@ func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...interface{}) 
 // ignoreDirective is the magic comment prefix.
 const ignoreDirective = "//sornlint:ignore"
 
-// parseIgnores indexes every suppression directive in the pass's files.
-func (p *Pass) parseIgnores() {
-	p.ignores = make(map[string]map[int]map[string]bool)
+// parseDirectives indexes every suppression directive in the pass's
+// files: at the directive's own line, and — when the directive sits in
+// a declaration's doc comment — at the declaration's first line too, so
+// a multi-line doc group can suppress findings on the declaration it
+// documents.
+func (p *Pass) parseDirectives() {
+	p.ignores = make(map[string]map[int]map[string]*directive)
+	byComment := make(map[*ast.Comment]*directive)
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -116,21 +170,73 @@ func (p *Pass) parseIgnores() {
 				if !ok {
 					continue
 				}
-				pos := p.Fset.Position(c.Pos())
-				byLine := p.ignores[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					p.ignores[pos.Filename] = byLine
+				d := &directive{
+					pos:   p.Fset.Position(c.Pos()),
+					rules: rules,
+					used:  make(map[string]int),
 				}
-				set := byLine[pos.Line]
-				if set == nil {
-					set = make(map[string]bool)
-					byLine[pos.Line] = set
-				}
-				for _, r := range rules {
-					set[r] = true
+				byComment[c] = d
+				p.directives = append(p.directives, d)
+				p.registerDirective(d, d.pos.Filename, d.pos.Line)
+			}
+		}
+		p.attachDocDirectives(f, byComment)
+	}
+}
+
+// attachDocDirectives re-registers doc-comment directives at the line
+// of the declaration (or spec, or field) the doc group is attached to.
+func (p *Pass) attachDocDirectives(f *ast.File, byComment map[*ast.Comment]*directive) {
+	register := func(doc *ast.CommentGroup, node ast.Node) {
+		if doc == nil {
+			return
+		}
+		pos := p.Fset.Position(node.Pos())
+		for _, c := range doc.List {
+			if d := byComment[c]; d != nil {
+				p.registerDirective(d, pos.Filename, pos.Line)
+			}
+		}
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			register(d.Doc, d)
+		case *ast.GenDecl:
+			register(d.Doc, d)
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					register(s.Doc, s)
+					if st, ok := s.Type.(*ast.StructType); ok {
+						for _, field := range st.Fields.List {
+							register(field.Doc, field)
+						}
+					}
+				case *ast.ValueSpec:
+					register(s.Doc, s)
 				}
 			}
+		}
+	}
+}
+
+// registerDirective indexes d at (filename, line) for each rule it
+// names; the first directive registered for a (line, rule) wins.
+func (p *Pass) registerDirective(d *directive, filename string, line int) {
+	byLine := p.ignores[filename]
+	if byLine == nil {
+		byLine = make(map[int]map[string]*directive)
+		p.ignores[filename] = byLine
+	}
+	set := byLine[line]
+	if set == nil {
+		set = make(map[string]*directive)
+		byLine[line] = set
+	}
+	for _, r := range d.rules {
+		if set[r] == nil {
+			set[r] = d
 		}
 	}
 }
@@ -159,25 +265,41 @@ func parseIgnoreComment(text string) ([]string, bool) {
 	return rules, len(rules) > 0
 }
 
-// Run applies the analyzers to every package and returns the surviving
-// findings sorted by position.
+// Run builds the whole-program Module context, applies the analyzers
+// one package per worker, and returns the surviving findings merged in
+// fixed package order and sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	mod := BuildModule(pkgs)
+
+	results := make([][]Finding, len(pkgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(pkgs) {
+					return
+				}
+				results[i] = runPackage(pkgs[i], mod, analyzers)
+			}
+		}()
+	}
+	wg.Wait()
+
 	var findings []Finding
-	for _, pkg := range pkgs {
-		pass := &Pass{
-			ModulePath: pkg.ModulePath,
-			PkgPath:    pkg.Path,
-			Fset:       pkg.Fset,
-			Files:      pkg.Files,
-			Pkg:        pkg.Types,
-			Info:       pkg.Info,
-			testFiles:  pkg.TestFiles,
-			findings:   &findings,
-		}
-		pass.parseIgnores()
-		for _, a := range analyzers {
-			a.Run(pass)
-		}
+	for _, r := range results {
+		findings = append(findings, r...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -190,7 +312,45 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
+	return findings
+}
+
+// runPackage applies the analyzers to one package. StaleSuppress (when
+// present) runs after every other rule so the directive usage counts it
+// audits are final.
+func runPackage(pkg *Package, mod *Module, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	pass := &Pass{
+		ModulePath: pkg.ModulePath,
+		PkgPath:    pkg.Path,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		Info:       pkg.Info,
+		Mod:        mod,
+		testFiles:  pkg.TestFiles,
+		active:     make(map[string]bool, len(analyzers)),
+		findings:   &findings,
+	}
+	for _, a := range analyzers {
+		pass.active[a.Name] = true
+	}
+	pass.parseDirectives()
+	var last []*Analyzer
+	for _, a := range analyzers {
+		if a.Name == staleSuppressName {
+			last = append(last, a)
+			continue
+		}
+		a.Run(pass)
+	}
+	for _, a := range last {
+		a.Run(pass)
+	}
 	return findings
 }

@@ -127,6 +127,10 @@ func TestFixtures(t *testing.T) {
 		"maporder/bad", "maporder/clean",
 		"floateq/bad", "floateq/clean",
 		"droppederr/bad", "droppederr/clean",
+		"shardsafety/bad", "shardsafety/clean",
+		"hotalloc/bad", "hotalloc/clean",
+		"obsnil/bad", "obsnil/clean",
+		"stalesuppress",
 		"directive",
 	}
 	l := sharedLoader(t)

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StaleSuppress audits the suppression and annotation machinery itself:
+// an //sornlint:ignore directive naming an unknown rule is reported
+// (the directive would otherwise silently suppress nothing), a
+// directive whose named rule produced zero suppressed findings is
+// reported as stale, and //sornlint:<verb> annotations that are
+// malformed or attached to declarations they cannot apply to are
+// reported. This keeps the repository's justified suppressions (the
+// floateq sentinel comparisons, the obs wall-clock read) from rotting
+// as the code around them changes.
+//
+// Staleness is only judged for rules active in the current run: a
+// -only subset must not flag directives for the rules it skipped.
+const staleSuppressName = "stalesuppress"
+
+var StaleSuppress = &Analyzer{
+	Name: staleSuppressName,
+	Doc:  "flag ignore directives that suppress nothing, name unknown rules, or are misplaced",
+}
+
+// Run is wired in init: runStaleSuppress asks Analyzers() for the known
+// rule names, which would otherwise be an initialization cycle.
+func init() { StaleSuppress.Run = runStaleSuppress }
+
+func runStaleSuppress(p *Pass) {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	// Directives are collected in file order; report in source order.
+	dirs := append([]*directive(nil), p.directives...)
+	sort.Slice(dirs, func(i, j int) bool {
+		a, b := dirs[i].pos, dirs[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	for _, d := range dirs {
+		for _, r := range d.rules {
+			switch {
+			case !known[r]:
+				p.reportDirective(d, "unknown rule %q in //sornlint:ignore directive; run `sornlint -rules` for the rule list", r)
+			case p.active[r] && d.used[r] == 0:
+				p.reportDirective(d, "//sornlint:ignore %s suppresses no finding; remove the stale directive", r)
+			}
+		}
+	}
+	if p.Mod != nil {
+		for _, issue := range p.Mod.issues[p.PkgPath] {
+			p.Reportf(issue.pos, staleSuppressName, "%s", issue.msg)
+		}
+	}
+}
+
+// reportDirective records a finding at a directive's own position. It
+// bypasses Reportf's suppression lookup: a stale directive must not be
+// able to suppress the report of its own staleness (unless it names
+// stalesuppress explicitly, which Reportf-style matching would allow —
+// so the explicit case is honored here).
+func (p *Pass) reportDirective(d *directive, format string, args ...interface{}) {
+	for _, r := range d.rules {
+		if r == staleSuppressName {
+			d.used[staleSuppressName]++
+			return
+		}
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:  d.pos,
+		Rule: staleSuppressName,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}

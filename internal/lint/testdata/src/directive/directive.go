@@ -17,7 +17,7 @@ func Suppressed(m map[int]int) []int {
 // WrongRule names a different rule, so maporder must still fire.
 func WrongRule(m map[int]int) []int {
 	var out []int
-	//sornlint:ignore floateq -- wrong rule on purpose; must not silence maporder
+	//sornlint:ignore floateq -- wrong rule on purpose; must not silence maporder (and is itself stale: want:stalesuppress)
 	for k := range m { // want:maporder
 		out = append(out, k)
 	}

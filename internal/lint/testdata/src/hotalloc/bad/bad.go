@@ -1,0 +1,48 @@
+// Package fixture exercises hotalloc: heap-allocating constructs in
+// //sornlint:hotpath-reachable code must be flagged.
+package fixture
+
+import "fmt"
+
+type point struct{ x, y int }
+
+// hot is a hot-path root.
+//
+//sornlint:hotpath
+func hot(buf []int, n int) []int {
+	m := map[int]int{}           // want:hotalloc
+	m[n] = 1                     // want:hotalloc
+	f := func() int { return n } // want:hotalloc
+	_ = f
+	fmt.Sprintln(n)   // want:hotalloc
+	p := &point{x: n} // want:hotalloc
+	_ = p
+	var xs []int
+	xs = append(xs, n)              // want:hotalloc
+	var i interface{} = point{x: n} // want:hotalloc
+	_ = i
+	buf = append(buf, helper(n))
+	return buf
+}
+
+// helper is transitively hot through the call in hot.
+func helper(n int) int {
+	q := new(point) // want:hotalloc
+	q.x = n
+	return q.x
+}
+
+// router dispatches dynamically: annotating the interface method makes
+// every implementation hot via class-hierarchy analysis.
+type router interface {
+	//sornlint:hotpath
+	route(buf []int, n int) []int
+}
+
+type impl struct{}
+
+func (impl) route(buf []int, n int) []int {
+	bad := []int{}
+	bad = append(bad, n) // want:hotalloc
+	return append(buf, bad[0])
+}

@@ -1,0 +1,46 @@
+// Package fixture is the hotalloc clean case: the repository's
+// hot-path idioms — reused buffers, amortized field growth, explicit
+// capacities, and annotated cold slow paths — must all pass.
+package fixture
+
+// ring is a reusable buffer owned by its caller.
+type ring struct {
+	buf  []int
+	head int
+}
+
+// push appends to a field: amortized growth of a caller-owned buffer.
+//
+//sornlint:hotpath
+func (r *ring) push(v int) {
+	if len(r.buf) == cap(r.buf) {
+		r.grow()
+	}
+	r.buf = append(r.buf, v)
+	r.head++
+}
+
+// grow is the deliberate slow path: the reachability walk stops here.
+//
+//sornlint:coldpath
+func (r *ring) grow() {
+	nb := make([]int, len(r.buf), 2*cap(r.buf)+1)
+	copy(nb, r.buf)
+	r.buf = nb
+	m := map[int]int{len(nb): cap(nb)} // cold: allocation is fine here
+	_ = m
+}
+
+// fill exercises the accepted append targets: a parameter, a reused
+// prefix, and a make with explicit sizing.
+//
+//sornlint:hotpath
+func fill(buf []int, n int) []int {
+	buf = buf[:0]
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	tmp := make([]int, 0, n)
+	tmp = append(tmp, n)
+	return append(buf, tmp...)
+}

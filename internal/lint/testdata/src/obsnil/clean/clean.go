@@ -1,0 +1,59 @@
+// Package fixture is the obsnil clean case: every guard shape the rule
+// accepts, in one place.
+package fixture
+
+import "repro/internal/obs"
+
+type sim struct {
+	o      *obs.Observer
+	traced bool //sornlint:obsguard
+}
+
+// timed reports whether phase timing is on; true implies o != nil.
+//
+//sornlint:obsguard
+func (s *sim) timed() bool { return s.o != nil }
+
+// direct guards with an enclosing branch.
+func (s *sim) direct(slot int64) {
+	if s.o != nil {
+		s.o.Emit(obs.Event{Slot: slot})
+	}
+}
+
+// early guards with an early return on the nil case.
+func (s *sim) early(slot int64) {
+	if s.o == nil {
+		return
+	}
+	s.o.Emit(obs.Event{Slot: slot})
+}
+
+// facts guards through a recorded bool local, an obsguard predicate,
+// and an obsguard field.
+func (s *sim) facts(slot int64) {
+	on := s.o != nil
+	if on {
+		s.o.Emit(obs.Event{Slot: slot})
+	}
+	if s.timed() {
+		s.o.Emit(obs.Event{Slot: slot})
+	}
+	if s.traced {
+		s.o.Emit(obs.Event{Slot: slot})
+	}
+}
+
+// fresh observers from obs.New are non-nil by construction.
+func newRun() *obs.Observer {
+	o := obs.New(obs.Options{})
+	o.StartRun("fixture")
+	return o
+}
+
+// drainAll is annotated: its callers own the non-nil guarantee.
+//
+//sornlint:obsguarded
+func (s *sim) drainAll(slot int64) {
+	s.o.Emit(obs.Event{Slot: slot})
+}

@@ -1,0 +1,47 @@
+// Package fixture is the shardsafety clean case: staged state, the
+// drain path, and serially dominated writes are all legal.
+package fixture
+
+// stage is the per-shard staging area.
+//
+//sornlint:staged
+type stage struct {
+	count int64
+}
+
+type engine struct {
+	total  int64
+	staged []int64 //sornlint:staged
+}
+
+// landPhase stages its writes and defers shared-state updates to the
+// serial branch or the drain path.
+//
+//sornlint:shardphase
+func (e *engine) landPhase(sh *stage) {
+	e.staged[0]++
+	sh.count++
+	e.note(sh)
+	e.flush(sh)
+}
+
+// note writes shared state only when the nil shard pointer proves the
+// serial engine is running.
+func (e *engine) note(sh *stage) {
+	if sh != nil {
+		sh.count++
+	} else {
+		e.total++
+	}
+}
+
+// flush is the drain path: the reachability walk stops here, and its
+// shared-state writes are the point.
+//
+//sornlint:drain
+func (e *engine) flush(sh *stage) {
+	if sh != nil {
+		e.total += sh.count
+		sh.count = 0
+	}
+}

@@ -143,7 +143,12 @@ func (c *cell) dst() int { return int(c.waypoints[c.n-1]) }
 
 // fifo is a power-of-two circular buffer of cells: pushes and pops are
 // single indexed writes/reads with no compaction copies, and the buffer
-// reallocates only when a queue outgrows its high-water mark.
+// reallocates only when a queue outgrows its high-water mark. Staged:
+// each VOQ belongs to exactly one shard's node range (pops by source
+// ownership, pushes by destination ownership), so phase-time mutation
+// is race-free by partition.
+//
+//sornlint:staged
 type fifo struct {
 	buf        []cell
 	head, tail uint32 // monotonically increasing; position is index & (len-1)
@@ -151,6 +156,8 @@ type fifo struct {
 
 // push appends a cell. The full-buffer case is split into pushSlow so
 // push itself stays within the inlining budget of its hot callers.
+//
+//sornlint:hotpath
 func (f *fifo) push(c *cell) {
 	if int(f.tail-f.head) == len(f.buf) {
 		f.pushSlow(c)
@@ -160,6 +167,10 @@ func (f *fifo) push(c *cell) {
 	f.tail++
 }
 
+// pushSlow is the deliberate grow-and-copy slow path, taken O(log n)
+// times per queue as it ramps to its high-water mark.
+//
+//sornlint:coldpath
 func (f *fifo) pushSlow(c *cell) {
 	f.grow()
 	f.buf[f.tail&uint32(len(f.buf)-1)] = *c
@@ -194,6 +205,8 @@ func (f *fifo) grow() {
 // pointee stays valid until the next push to this queue, which in a
 // phase-sharded Step cannot happen before the caller is done with it
 // (pops happen in the transmit phase, pushes in landing/injection).
+//
+//sornlint:hotpath
 func (f *fifo) pop() (*cell, bool) {
 	if f.head == f.tail {
 		return nil, false
@@ -292,6 +305,8 @@ type flowLoss struct {
 // transmit phase they pop only VOQs of their own sources, in the landing
 // phase they push only VOQs of their own destinations. Everything else
 // they touch is staged here and merged in shard order at the barrier.
+//
+//sornlint:staged
 type shard struct {
 	lo, hi   int
 	routeBuf routing.Route // scratch for landing-time reroutes
@@ -326,16 +341,20 @@ type Sim struct {
 	// sequence is per-node and therefore worker-count invariant.
 	nodeRngs []rng.RNG
 
+	// voq, backlog, fresh, and freshPair are indexed per node (or per
+	// pair): a shard touches only entries of nodes it owns, so phase-time
+	// writes are race-free by partition — staged in the
+	// one-writer-per-entry sense, not via a merge buffer.
 	voq     []fifo  // n*n queues, index u*n+next
-	backlog []int64 // queued cells per node (excludes in-flight)
-	fresh   []int64 // never-transmitted cells queued per source
+	backlog []int64 //sornlint:staged
+	fresh   []int64 //sornlint:staged
 
 	// freshPair counts never-transmitted cells per (src,dst) pair. Only
 	// per-pair saturation reads it, so it is maintained only while
 	// trackPairs is set (a random write into an n²-sized array per
 	// consumed cell is pure overhead otherwise) and rebuilt from the
 	// queued cells when a per-pair run starts.
-	freshPair []int64
+	freshPair []int64 //sornlint:staged
 
 	// The delay line is direct-mapped: within a slot each plane's
 	// circuits form a matching, so destination v receives at most one
@@ -345,8 +364,8 @@ type Sim struct {
 	// its destinations in node order — the canonical order that makes
 	// results independent of the worker count.
 	ringSlots int
-	ringCells []cell // (slot%ringSlots)*n*planes + v*planes + p
-	ringOcc   []bool
+	ringCells []cell //sornlint:staged -- one possible writer per entry, see above
+	ringOcc   []bool //sornlint:staged -- one possible writer per entry, see above
 	// ringCount[slot%ringSlots] is the number of occupied entries in
 	// that ring slot, so a slot with nothing arriving skips the
 	// n×planes occupancy scan — most steps of a draining or lightly
@@ -363,7 +382,7 @@ type Sim struct {
 	// every slot.
 	trackPairs bool
 	dirtyPairs []int32
-	dirtyMark  []bool
+	dirtyMark  []bool //sornlint:staged -- per-pair entries, owned by the consuming node's shard
 
 	// flows is a chunked arena of 1<<flowBlockBits FlowStates per block:
 	// index-addressable, pointer-stable, allocation-free per flow.
@@ -393,7 +412,7 @@ type Sim struct {
 	// read, not an option lookup.
 	obs        *obs.Observer
 	om         *simMetrics
-	traceFlows bool
+	traceFlows bool //sornlint:obsguard
 }
 
 // New builds a simulator.
@@ -738,7 +757,10 @@ func (s *Sim) enqueue(sh *shard, u int, c *cell) {
 // be a power of two.
 const phaseTimeSample = 16
 
-// phaseTimed reports whether this slot's phases are wall-clock timed.
+// phaseTimed reports whether this slot's phases are wall-clock timed;
+// true implies s.obs is non-nil.
+//
+//sornlint:obsguard
 func (s *Sim) phaseTimed() bool {
 	return s.obs != nil && s.slot&(phaseTimeSample-1) == 0
 }
@@ -802,7 +824,10 @@ func (s *Sim) runPhase(p obs.Phase, timed bool, fn func(*Sim, int, int, *shard))
 // runShard runs one shard of a phase, wall-clock-timed into the
 // observer's per-(phase, shard) accumulator on sampled slots. The
 // readings never feed back into simulation state, so timing cannot
-// perturb results; the uninstrumented path pays one branch.
+// perturb results; the uninstrumented path pays one branch. timed is
+// only ever true when the observer exists (phaseTimed).
+//
+//sornlint:obsguarded
 func (s *Sim) runShard(p obs.Phase, timed bool, i, lo, hi int, sh *shard, fn func(*Sim, int, int, *shard)) {
 	if !timed {
 		fn(s, lo, hi, sh)
@@ -815,7 +840,10 @@ func (s *Sim) runShard(p obs.Phase, timed bool, i, lo, hi int, sh *shard, fn fun
 
 // mergeShards folds every shard's staged deltas into the shared state,
 // in shard order — the single point where parallel results meet, and
-// deliberately order-deterministic.
+// deliberately order-deterministic. Staged events only exist when the
+// observer does, so the drain below emits unguarded.
+//
+//sornlint:drain
 func (s *Sim) mergeShards() {
 	landIdx := (s.slot + s.propSlots) % int64(s.ringSlots)
 	for i := range s.shards {
@@ -843,7 +871,12 @@ func (s *Sim) mergeShards() {
 }
 
 // landShard processes this slot's arrivals at destination nodes
-// [lo, hi), in (node, plane) order.
+// [lo, hi), in (node, plane) order. It is a worker-phase body (writes
+// outside the shard's staged state are shardsafety violations) and the
+// per-cell hot loop (heap allocation is a hotalloc violation).
+//
+//sornlint:shardphase
+//sornlint:hotpath
 func (s *Sim) landShard(lo, hi int, sh *shard) {
 	cur := s.slot % int64(s.ringSlots)
 	if s.ringCount[cur] == 0 {
@@ -934,6 +967,8 @@ func (s *Sim) deliver(sh *shard, v int, c *cell) {
 // contiguous ascending node ranges and the landing phase walks nodes in
 // order, so the merged event stream is identical for every worker
 // count. Callers check s.obs != nil first.
+//
+//sornlint:drain
 func (s *Sim) emitEvent(sh *shard, e obs.Event) {
 	if sh != nil {
 		sh.events = append(sh.events, e)
@@ -954,6 +989,9 @@ func (s *Sim) emitEvent(sh *shard, e obs.Event) {
 // (delay-line entries), or order-canonicalized downstream (the
 // dirty-pair worklist is sorted before each drain), so any iteration
 // layout yields the same result for every worker count.
+//
+//sornlint:shardphase
+//sornlint:hotpath
 func (s *Sim) transmitShard(lo, hi int, sh *shard) {
 	n := s.n
 	st := &s.stats

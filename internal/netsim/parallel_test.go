@@ -35,7 +35,6 @@ func sampleEqual(t *testing.T, name string, a, b *stats.Sample) {
 		t.Fatalf("%s: %d samples vs %d", name, len(av), len(bv))
 	}
 	for i := range av {
-		//sornlint:ignore floateq -- bit-identical replay is the property under test
 		if av[i] != bv[i] {
 			t.Fatalf("%s[%d]: %v vs %v", name, i, av[i], bv[i])
 		}

@@ -43,7 +43,12 @@ type Router interface {
 	// same hop sequence to buf (which may be nil, or a zero-length reused
 	// buffer) and returns the extended slice. The slotted simulator calls
 	// it once per injected cell, so implementations must not allocate
-	// beyond growing buf.
+	// beyond growing buf. The hotpath annotation makes every
+	// implementation's transitive call tree allocation-checked; the
+	// zero-alloc RouteInto benchmark test verifies the same property at
+	// runtime.
+	//
+	//sornlint:hotpath
 	RouteInto(buf Route, src, dst, slot int, r *rng.RNG) Route
 	// Paths calls fn for every path of the time-averaged path
 	// distribution with its probability (summing to 1 per src→dst pair).

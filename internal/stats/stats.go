@@ -82,6 +82,10 @@ func (s *Summary) Max() float64 {
 
 // Sample retains every observation and answers percentile queries exactly.
 // Suitable for the volumes this repository produces (≤ millions of points).
+// Staged: shard-phase code only ever appends into samples inside its own
+// shard's staged Stats, merged at the slot barrier in shard order.
+//
+//sornlint:staged
 type Sample struct {
 	xs     []float64
 	sorted bool

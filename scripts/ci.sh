@@ -8,9 +8,16 @@
 #   2. go build ./...        -- the module compiles
 #   3. go vet ./...          -- stdlib vet findings
 #   4. sornlint              -- this repo's determinism & correctness
-#                               rules (internal/lint); see DESIGN.md
-#   5. go test ./...         -- tier-1 tests (includes the lint gate
-#                               again via lint_test.go)
+#                               rules (internal/lint), run with -json
+#                               against the committed lint_baseline.json:
+#                               only NEW findings fail; regenerate the
+#                               baseline with scripts/lint-baseline.sh.
+#                               The step is timed, and exports
+#                               SORNLINT_CI_RAN so the go test steps
+#                               skip lint_test.go's duplicate
+#                               whole-module type-check (one load per
+#                               ci.sh run, not three)
+#   5. go test ./...         -- tier-1 tests
 #   6. race determinism      -- the sharded-step determinism tests
 #                               (Workers=1 vs k bit-identical Stats)
 #                               under the race detector, explicitly,
@@ -50,8 +57,13 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== sornlint ./..."
-go run ./cmd/sornlint ./...
+echo "== sornlint -json -baseline lint_baseline.json ./..."
+lint_start=$SECONDS
+go run ./cmd/sornlint -json -baseline lint_baseline.json ./...
+echo "   (sornlint step took $((SECONDS - lint_start))s)"
+# The dedicated step above already type-checked and analyzed the whole
+# module; tell lint_test.go not to repeat that work in the test steps.
+export SORNLINT_CI_RAN=1
 
 echo "== go test ./..."
 go test ./...
