@@ -1,6 +1,6 @@
 // Command sornsim is the general driver for the packet-level simulator:
 // pick a design (sorn, orn1d, orn2d), a workload (locality ratio, flow
-// size distribution), and a mode (saturate or openloop), and get
+// size distribution), and a mode (saturate, openloop, or avail), and get
 // throughput, hop, and latency statistics.
 //
 // Examples:
@@ -8,6 +8,8 @@
 //	sornsim -design sorn -n 128 -nc 8 -x 0.56 -mode saturate
 //	sornsim -design orn1d -n 128 -mode openloop -load 0.3 -sizes websearch
 //	sornsim -design orn2d -n 64 -mode openloop -load 0.2
+//	sornsim -mode openloop -faultplan 'node7@5000-15000;churn@0-30000,links=0.001,down=300'
+//	sornsim -mode avail -n 64 -nc 8 -slots 40000 -faultplan 'node7@8000-20000' -outage 8000-24000
 package main
 
 import (
@@ -20,6 +22,8 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/faultplan"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/stats"
@@ -32,7 +36,7 @@ func main() {
 	nc := flag.Int("nc", 8, "cliques (sorn only)")
 	x := flag.Float64("x", 0.56, "traffic locality ratio; also provisions the sorn schedule")
 	q := flag.Float64("q", 0, "explicit oversubscription ratio (0 = derive q* from -x)")
-	mode := flag.String("mode", "saturate", "saturate or openloop")
+	mode := flag.String("mode", "saturate", "saturate, openloop, or avail")
 	load := flag.Float64("load", 0.3, "offered load for openloop mode (fraction of node bandwidth)")
 	sizes := flag.String("sizes", "websearch", "flow sizes: websearch, datamining, fixed:<cells>, bimodal")
 	cap := flag.Int("cap", 0, "optional flow size cap in cells (0 = uncapped)")
@@ -50,6 +54,11 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write the slot-resolved metric time series as CSV to this file")
 	metricsEvery := flag.Int64("metricsevery", 64, "series snapshot cadence in slots")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	faultSpec := flag.String("faultplan", "",
+		"fault-plan spec 'node<u>@s[-e]; link<u>:<v>@s[-e]; churn@s-e[,links=p][,nodes=p][,down=d]', applied between steps (openloop and avail modes)")
+	epochSlots := flag.Int64("epoch", 500, "control-loop cadence in slots (avail mode)")
+	outage := flag.String("outage", "", "telemetry outage window 'start-end' in slots (avail mode)")
+	window := flag.Int64("window", 0, "reporting window in slots for avail mode (0 = slots/50)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -131,6 +140,9 @@ func main() {
 		if *qlimit > 0 {
 			fatal(fmt.Errorf("-qlimit applies to openloop mode only"))
 		}
+		if *faultSpec != "" {
+			fatal(fmt.Errorf("-faultplan applies to openloop and avail modes only"))
+		}
 		st, err = nw.SimulateSaturated(opts, tm, dist)
 	case "openloop":
 		sim, serr := netsim.New(netsim.Config{
@@ -149,10 +161,52 @@ func main() {
 		total := *warmup + *slots
 		flows := gen.Window(0, total)
 		sim.StartMeasuring()
-		if rerr := sim.RunOpenLoop(flows, total); rerr != nil {
+		if *faultSpec != "" {
+			// With a fault plan the driver owns the slot loop: fault
+			// events apply between Steps, arrivals inject at their slot.
+			plan, perr := faultplan.ParseSpec(*faultSpec, *n, *seed)
+			if perr != nil {
+				fatal(perr)
+			}
+			drv := faultplan.NewDriver(plan)
+			next := 0
+			for slot := int64(0); slot < total; slot++ {
+				drv.Advance(sim, slot)
+				for next < len(flows) && flows[next].Arrival <= slot {
+					sim.InjectFlow(flows[next].Src, flows[next].Dst, flows[next].Size)
+					next++
+				}
+				sim.Step()
+			}
+		} else if rerr := sim.RunOpenLoop(flows, total); rerr != nil {
 			fatal(rerr)
 		}
 		st = sim.Stats()
+	case "avail":
+		var plan *faultplan.Plan
+		if *faultSpec != "" {
+			var perr error
+			plan, perr = faultplan.ParseSpec(*faultSpec, *n, *seed)
+			if perr != nil {
+				fatal(perr)
+			}
+		}
+		var oStart, oEnd int64
+		if *outage != "" {
+			if _, oerr := fmt.Sscanf(*outage, "%d-%d", &oStart, &oEnd); oerr != nil || oEnd < oStart {
+				fatal(fmt.Errorf("bad -outage %q (want start-end in slots)", *outage))
+			}
+		}
+		res, aerr := experiments.Availability(experiments.AvailabilityConfig{
+			N: *n, Nc: *nc, X: *x, Load: *load,
+			Slots: *slots, Window: *window, EpochSlots: *epochSlots,
+			OutageStart: oStart, OutageEnd: oEnd,
+			Plan: plan, Seed: *seed, Workers: *workers, Obs: ob,
+		})
+		if aerr != nil {
+			fatal(aerr)
+		}
+		printAvailability(res, *n, *nc, *x, *load)
 	default:
 		fmt.Fprintf(os.Stderr, "sornsim: unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -161,44 +215,49 @@ func main() {
 		fatal(err)
 	}
 
-	slotUS := float64(*slotNS) / 1000
-	fmt.Printf("design=%s n=%d workload=%s mode=%s\n", nw.Kind, *n, dist.Name(), *mode)
-	if nw.SORN != nil {
-		fmt.Printf("cliques=%d realized q=%.2f schedule period=%d slots\n",
-			nw.SORN.Cliques.NumCliques(), nw.SORN.RealizedQ, nw.Schedule.Period())
-	}
-	fmt.Printf("throughput r        %.4f cells/node/slot\n", st.Throughput(*n))
-	fmt.Printf("mean hops           %.3f\n", st.MeanHops())
-	fmt.Printf("delivered cells     %d\n", st.DeliveredCells)
-	if st.DroppedCells > 0 {
-		fmt.Printf("dropped cells       %d (queue limit)\n", st.DroppedCells)
-	}
-	fmt.Printf("completed flows     %d\n", st.CompletedFlows)
-	if st.LatencySlots.Count() > 0 {
-		fmt.Printf("cell latency p50    %.1f µs\n", st.LatencySlots.Percentile(50)*slotUS)
-		fmt.Printf("cell latency p99    %.1f µs\n", st.LatencySlots.Percentile(99)*slotUS)
-	}
-	for h := 1; h < len(st.LatencyByHops); h++ {
-		cls := &st.LatencyByHops[h]
-		if cls.Count() == 0 {
-			continue
+	if st != nil {
+		slotUS := float64(*slotNS) / 1000
+		fmt.Printf("design=%s n=%d workload=%s mode=%s\n", nw.Kind, *n, dist.Name(), *mode)
+		if nw.SORN != nil {
+			fmt.Printf("cliques=%d realized q=%.2f schedule period=%d slots\n",
+				nw.SORN.Cliques.NumCliques(), nw.SORN.RealizedQ, nw.Schedule.Period())
 		}
-		fmt.Printf("  %d-hop cells p50   %.1f µs (%d samples)\n",
-			h, cls.Percentile(50)*slotUS, cls.Count())
-	}
-	if st.FCTSlots.Count() > 0 {
-		fmt.Printf("FCT p50             %.1f µs\n", st.FCTSlots.Percentile(50)*slotUS)
-		fmt.Printf("FCT p99             %.1f µs\n", st.FCTSlots.Percentile(99)*slotUS)
-	}
-	if *hist && st.LatencySlots.Count() > 0 {
-		h := stats.NewLogHistogram()
-		for p := 0.5; p <= 100; p += 0.5 {
-			h.Add(st.LatencySlots.Percentile(p))
+		fmt.Printf("throughput r        %.4f cells/node/slot\n", st.Throughput(*n))
+		fmt.Printf("mean hops           %.3f\n", st.MeanHops())
+		fmt.Printf("delivered cells     %d\n", st.DeliveredCells)
+		if st.LostCells > 0 {
+			fmt.Printf("lost cells          %d (failures)\n", st.LostCells)
 		}
-		fmt.Println("cell latency histogram (log2 buckets of slots, from percentile samples):")
-		bounds, counts := h.Buckets()
-		for i, b := range bounds {
-			fmt.Printf("  >= %6.0f slots  %s\n", b, strings.Repeat("#", int(counts[i])))
+		if st.DroppedCells > 0 {
+			fmt.Printf("dropped cells       %d (queue limit)\n", st.DroppedCells)
+		}
+		fmt.Printf("completed flows     %d\n", st.CompletedFlows)
+		if st.LatencySlots.Count() > 0 {
+			fmt.Printf("cell latency p50    %.1f µs\n", st.LatencySlots.Percentile(50)*slotUS)
+			fmt.Printf("cell latency p99    %.1f µs\n", st.LatencySlots.Percentile(99)*slotUS)
+		}
+		for h := 1; h < len(st.LatencyByHops); h++ {
+			cls := &st.LatencyByHops[h]
+			if cls.Count() == 0 {
+				continue
+			}
+			fmt.Printf("  %d-hop cells p50   %.1f µs (%d samples)\n",
+				h, cls.Percentile(50)*slotUS, cls.Count())
+		}
+		if st.FCTSlots.Count() > 0 {
+			fmt.Printf("FCT p50             %.1f µs\n", st.FCTSlots.Percentile(50)*slotUS)
+			fmt.Printf("FCT p99             %.1f µs\n", st.FCTSlots.Percentile(99)*slotUS)
+		}
+		if *hist && st.LatencySlots.Count() > 0 {
+			h := stats.NewLogHistogram()
+			for p := 0.5; p <= 100; p += 0.5 {
+				h.Add(st.LatencySlots.Percentile(p))
+			}
+			fmt.Println("cell latency histogram (log2 buckets of slots, from percentile samples):")
+			bounds, counts := h.Buckets()
+			for i, b := range bounds {
+				fmt.Printf("  >= %6.0f slots  %s\n", b, strings.Repeat("#", int(counts[i])))
+			}
 		}
 	}
 
@@ -216,6 +275,32 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// printAvailability renders the two availability time series side by
+// side — per-window throughput, end-of-window backlog, and losses for
+// the resilient SORN run (with its degraded-mode marker) against the
+// static oblivious baseline — then the degradation lifecycle verdict.
+func printAvailability(res *experiments.AvailabilityResult, n, nc int, x, load float64) {
+	fmt.Printf("availability: n=%d nc=%d x=%.2f load=%.2f — SORN+fallback vs static oblivious\n",
+		n, nc, x, load)
+	fmt.Printf("%10s  %8s %8s %6s %4s   %8s %8s %6s\n",
+		"slot", "r", "backlog", "lost", "mode", "r", "backlog", "lost")
+	for i, w := range res.SORN {
+		mode := "ok"
+		if w.Degraded {
+			mode = "DEGR"
+		}
+		o := res.Oblivious[i]
+		fmt.Printf("%10d  %8.4f %8d %6d %4s   %8.4f %8d %6d\n",
+			w.Slot, w.Throughput, w.Backlog, w.Lost+w.Dropped, mode,
+			o.Throughput, o.Backlog, o.Lost+o.Dropped)
+	}
+	fmt.Printf("fell back: %v   recovered: %v\n", res.FellBack, res.Recovered)
+	fmt.Printf("delivered cells     sorn=%d oblivious=%d\n",
+		res.SORNStats.DeliveredCells, res.ObliviousStats.DeliveredCells)
+	fmt.Printf("lost cells          sorn=%d oblivious=%d\n",
+		res.SORNStats.LostCells, res.ObliviousStats.LostCells)
 }
 
 // writeFile creates path and streams one observer emitter into it.

@@ -31,7 +31,10 @@ type Estimator struct {
 
 // NewEstimator creates an estimator over n nodes. alpha in (0, 1].
 func NewEstimator(n int, alpha float64) (*Estimator, error) {
-	if alpha <= 0 || alpha > 1 {
+	// NaN fails every ordered comparison, so `<= 0 || > 1` alone would
+	// accept it — and a NaN alpha poisons the whole EWMA on the first
+	// Observe. Reject it explicitly.
+	if math.IsNaN(alpha) || alpha <= 0 || alpha > 1 {
 		return nil, fmt.Errorf("controlplane: EWMA alpha %f outside (0,1]", alpha)
 	}
 	return &Estimator{n: n, alpha: alpha}, nil
@@ -59,8 +62,23 @@ func (e *Estimator) Observe(tm *workload.Matrix) error {
 	return nil
 }
 
-// Estimate returns the smoothed matrix (nil before any observation).
+// Estimate returns a read-only view of the smoothed matrix (nil before
+// any observation). The view stays live — subsequent Observes update it
+// in place — and must not be mutated by callers; use EstimateClone for a
+// snapshot. It used to clone: PlanNext reads the estimate three times
+// per epoch (existence check, locality, re-clustering affinity), which
+// made the replanning loop allocate three N×N matrices per decision for
+// no reason.
+//
+//sornlint:hotpath -- replanning-loop read path; must not allocate
 func (e *Estimator) Estimate() *workload.Matrix {
+	return e.ewma
+}
+
+// EstimateClone returns an independent snapshot of the smoothed matrix
+// (nil before any observation), for callers that need to hold or mutate
+// the estimate across further observations.
+func (e *Estimator) EstimateClone() *workload.Matrix {
 	if e.ewma == nil {
 		return nil
 	}
@@ -146,9 +164,20 @@ func (c *Controller) PlanNext() (*Plan, error) {
 		return nil, err
 	}
 	x := c.est.Estimate().IntraFraction(cl)
+	// A corrupt estimate (NaN/Inf locality) or a divergent q* (x→1 with
+	// no clamp, or a misconfigured MaxQ) must surface as an error here,
+	// not as a degenerate schedule downstream: BuildSORN would happily
+	// round a non-finite or non-positive q into a period with no
+	// inter-clique slots, silently forfeiting the oblivious guarantee.
+	if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 || x > 1 {
+		return nil, fmt.Errorf("controlplane: estimated locality %f outside [0,1]", x)
+	}
 	q := model.SORNQ(x)
 	if q > c.MaxQ {
 		q = c.MaxQ
+	}
+	if math.IsNaN(q) || math.IsInf(q, 0) || q <= 0 {
+		return nil, fmt.Errorf("controlplane: planned q %f not finite and positive (x=%f, MaxQ=%f)", q, x, c.MaxQ)
 	}
 	// BuildSORN lays out contiguous equal cliques; rebuildOnCliques maps
 	// that construction onto the planned partition by relabeling nodes

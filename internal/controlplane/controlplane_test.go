@@ -47,6 +47,11 @@ func TestEstimatorErrors(t *testing.T) {
 	if _, err := NewEstimator(4, 1.5); err == nil {
 		t.Error("alpha>1 accepted")
 	}
+	// NaN fails both range comparisons, so it used to slip through and
+	// poison the EWMA on the first fold. Regression: reject it.
+	if _, err := NewEstimator(4, math.NaN()); err == nil {
+		t.Error("alpha=NaN accepted")
+	}
 	e, _ := NewEstimator(4, 0.5)
 	if err := e.Observe(workload.Uniform(8)); err == nil {
 		t.Error("size mismatch accepted")
@@ -58,6 +63,69 @@ func TestEstimatorErrors(t *testing.T) {
 	}
 	if _, err := e.EstimateLocality(nil); err == nil {
 		t.Error("locality without observations accepted")
+	}
+}
+
+func TestEstimatorRejectsPoisonedObservations(t *testing.T) {
+	// A single NaN or negative rate would contaminate the EWMA forever
+	// ((1-α)·NaN + α·anything = NaN); Observe must reject the matrix and
+	// leave the running estimate untouched.
+	e, _ := NewEstimator(4, 0.5)
+	if err := e.Observe(workload.Uniform(4)); err != nil {
+		t.Fatal(err)
+	}
+	for name, rate := range map[string]float64{"NaN": math.NaN(), "negative": -1, "+Inf": math.Inf(1)} {
+		bad := workload.Uniform(4)
+		bad.Rates[0][1] = rate
+		if err := e.Observe(bad); err == nil {
+			t.Errorf("%s rate accepted", name)
+		}
+	}
+	if e.Observations() != 1 {
+		t.Fatalf("rejected observations were folded in: count %d", e.Observations())
+	}
+	if got := e.Estimate().Rates[0][1]; math.IsNaN(got) || got < 0 {
+		t.Fatalf("estimate poisoned: rate[0][1] = %f", got)
+	}
+}
+
+func TestEstimateIsLiveViewAndCloneIsNot(t *testing.T) {
+	e, _ := NewEstimator(4, 0.5)
+	if e.Estimate() != nil || e.EstimateClone() != nil {
+		t.Fatal("estimate before observations should be nil")
+	}
+	if err := e.Observe(workload.Uniform(4)); err != nil {
+		t.Fatal(err)
+	}
+	view := e.Estimate()
+	snap := e.EstimateClone()
+	before := view.Rates[0][1]
+	b := workload.NewMatrix(4)
+	b.Rates[0][1] = 1
+	if err := e.Observe(b); err != nil {
+		t.Fatal(err)
+	}
+	if view.Rates[0][1] == before {
+		t.Fatal("Estimate view did not track the new observation")
+	}
+	if snap.Rates[0][1] != before {
+		t.Fatal("EstimateClone snapshot changed under a later observation")
+	}
+}
+
+func TestPlanNextRejectsDegenerateQ(t *testing.T) {
+	// MaxQ=0 (a zero-value Controller literal, or misconfiguration)
+	// would clamp q* to 0 and build a schedule with no inter-clique
+	// capacity; PlanNext must refuse instead.
+	c, _ := NewController(32, 4, 1)
+	c.MaxQ = 0
+	cl, _ := schedule.EqualCliques(32, 4)
+	tm, _ := workload.Locality(cl, 0.5)
+	if err := c.Observe(tm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PlanNext(); err == nil {
+		t.Fatal("PlanNext accepted a non-positive q")
 	}
 }
 

@@ -1,0 +1,240 @@
+package controlplane
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/schedule"
+)
+
+// Resilient wraps a Controller with the degraded-mode discipline the
+// paper's §5 argument presumes but the plain Controller does not have:
+// SORN may re-optimize at macro time scales *only because* it can always
+// retreat to the uniform oblivious schedule, whose worst-case guarantee
+// holds for any traffic. Resilient makes that retreat an explicit state
+// machine:
+//
+//	NORMAL ──(estimate stale/corrupt, plan error)──▶ DEGRADED
+//	DEGRADED ──(RecoverAfter consecutive healthy probes)──▶ NORMAL
+//
+// In DEGRADED the fabric runs the cached uniform fallback (equal
+// contiguous cliques at the x=0 operating point q=2, worst-case
+// throughput 1/3) while every epoch still probes the demand-aware
+// planner; the RecoverAfter hysteresis keeps a flapping estimator from
+// thrashing the fabric through repeated reconfigurations. Mechanical
+// failures (PlanNext/Apply errors) additionally back off exponentially
+// — up to MaxBackoff epochs between attempts — so a persistently broken
+// planner costs bounded control-plane work. Every transition is emitted
+// on the controller's observer as a control event.
+type Resilient struct {
+	C *Controller
+
+	// StaleEpochs is how many consecutive Decide calls may pass without
+	// a fresh observation before the estimate is considered stale.
+	StaleEpochs int
+	// XMax bounds trusted locality estimates: x above it (estimates
+	// collapsing toward 1 drive q*→∞) is treated as corrupt telemetry
+	// rather than a plannable operating point.
+	XMax float64
+	// RecoverAfter is the hysteresis: consecutive healthy probes needed
+	// in DEGRADED before resuming demand-aware operation.
+	RecoverAfter int
+	// MaxBackoff caps the exponential retry delay, in epochs.
+	MaxBackoff int
+
+	degraded      bool
+	healthy       int   // consecutive healthy probes while degraded
+	lastObs       int   // estimator observation count at the last Decide
+	stale         int   // consecutive Decides without a fresh observation
+	backoff       int   // next error's delay, in epochs
+	backoffLeft   int   // epochs still to wait before retrying
+	decide        int64 // Decide ordinal, for event Epochs
+	fallbackBuilt *schedule.SORN
+}
+
+// NewResilient wraps c with default degraded-mode thresholds.
+func NewResilient(c *Controller) *Resilient {
+	return &Resilient{C: c, StaleEpochs: 3, XMax: 0.995, RecoverAfter: 3, MaxBackoff: 8}
+}
+
+// Decision is the outcome of one control epoch.
+type Decision struct {
+	// Plan is the active plan after this decision; its Built schedule is
+	// what the fabric should be running.
+	Plan *Plan
+	// Changed reports whether this decision changed the installed
+	// schedule (the caller must push it to the fabric/simulator).
+	Changed bool
+	// Degraded reports whether the fabric is on the oblivious fallback.
+	Degraded bool
+	// Reason is why the controller is (or became) degraded this epoch:
+	// "no_observations", "stale_estimate", "locality_blowup", or
+	// "plan_error: …". Empty in normal operation.
+	Reason string
+}
+
+// fallback lazily builds and caches the uniform oblivious plan. The
+// schedule never depends on the estimate, so one build serves the whole
+// run.
+func (r *Resilient) fallback() (*Plan, error) {
+	if r.fallbackBuilt == nil {
+		cl, err := schedule.EqualCliques(r.C.n, r.C.nc)
+		if err != nil {
+			return nil, err
+		}
+		built, err := rebuildOnCliques(cl, model.SORNQ(0))
+		if err != nil {
+			return nil, err
+		}
+		r.fallbackBuilt = built
+	}
+	return &Plan{
+		Cliques:    r.fallbackBuilt.Cliques,
+		X:          0, // planned without trusting the estimate
+		Q:          r.fallbackBuilt.RealizedQ,
+		PredictedR: model.SORNThroughputAtQ(0, r.fallbackBuilt.RealizedQ),
+		Built:      r.fallbackBuilt,
+	}, nil
+}
+
+// Degraded reports whether the controller is currently on the fallback.
+func (r *Resilient) Degraded() bool { return r.degraded }
+
+// Decide runs one control epoch: probe the demand-aware planner, run its
+// plan if it is trustworthy, otherwise hold (or retreat to) the
+// oblivious fallback. The returned error is reserved for unrecoverable
+// internal failures — building or installing the fallback itself failed
+// — after which the fabric keeps whatever schedule it had.
+func (r *Resilient) Decide() (Decision, error) {
+	r.decide++
+
+	// Staleness tracks whether any new observation arrived since the
+	// previous epoch.
+	cur := r.C.est.Observations()
+	if cur == r.lastObs {
+		r.stale++
+	} else {
+		r.stale = 0
+	}
+	r.lastObs = cur
+
+	// Backoff after a mechanical failure: hold state, don't even probe.
+	if r.backoffLeft > 0 {
+		r.backoffLeft--
+		return r.hold("plan_error: backing off")
+	}
+
+	plan, reason := r.probe()
+	if plan == nil {
+		return r.demote(reason, false)
+	}
+
+	if r.degraded {
+		// Healthy probe while degraded: count toward the hysteresis but
+		// keep running the fallback until the streak completes.
+		r.healthy++
+		if r.healthy < r.RecoverAfter {
+			return r.hold(reason)
+		}
+		if err := r.C.Apply(plan); err != nil {
+			return r.demote("plan_error: "+err.Error(), true)
+		}
+		r.degraded = false
+		r.healthy = 0
+		r.backoff = 0
+		if r.C.Obs != nil {
+			r.C.Obs.Emit(obs.Event{Epoch: r.decide, Type: obs.EvRecover, Src: -1, Dst: -1,
+				X: plan.X, Q: plan.Q, Val: float64(r.RecoverAfter)})
+		}
+		return Decision{Plan: plan, Changed: planChanged(plan)}, nil
+	}
+
+	if err := r.C.Apply(plan); err != nil {
+		return r.demote("plan_error: "+err.Error(), true)
+	}
+	r.backoff = 0
+	return Decision{Plan: plan, Changed: planChanged(plan)}, nil
+}
+
+// probe runs the health checks and, when they pass, one PlanNext. It
+// returns the plan (nil if untrustworthy) and the degradation reason.
+func (r *Resilient) probe() (*Plan, string) {
+	if r.C.est.Observations() == 0 {
+		return nil, "no_observations"
+	}
+	if r.stale >= r.StaleEpochs {
+		return nil, "stale_estimate"
+	}
+	plan, err := r.C.PlanNext()
+	if err != nil {
+		return nil, "plan_error: " + err.Error()
+	}
+	// PlanNext already rejects non-finite x and q; the XMax band
+	// additionally refuses estimates collapsing toward x=1, which are
+	// far more often telemetry failures than real traffic.
+	if math.IsNaN(plan.X) || plan.X > r.XMax {
+		return nil, "locality_blowup"
+	}
+	return plan, ""
+}
+
+// demote moves to (or stays in) DEGRADED for the given reason. isError
+// marks mechanical plan/apply failures, which also arm the exponential
+// backoff; health failures re-probe every epoch instead.
+func (r *Resilient) demote(reason string, isError bool) (Decision, error) {
+	if isError || strings.HasPrefix(reason, "plan_error") {
+		if r.backoff == 0 {
+			r.backoff = 1
+		} else if r.backoff*2 <= r.MaxBackoff {
+			r.backoff *= 2
+		} else {
+			r.backoff = r.MaxBackoff
+		}
+		r.backoffLeft = r.backoff
+		if r.C.Obs != nil {
+			r.C.Obs.Emit(obs.Event{Epoch: r.decide, Type: obs.EvPlanError, Src: -1, Dst: -1,
+				Val: float64(r.backoff), Note: reason})
+		}
+	}
+	r.healthy = 0
+	fb, err := r.fallback()
+	if err != nil {
+		return Decision{}, fmt.Errorf("controlplane: cannot build fallback: %w", err)
+	}
+	if r.degraded {
+		// Already on the fallback; nothing to install.
+		return Decision{Plan: fb, Degraded: true, Reason: reason}, nil
+	}
+	if err := r.C.Apply(fb); err != nil {
+		return Decision{}, fmt.Errorf("controlplane: cannot install fallback: %w", err)
+	}
+	r.degraded = true
+	if r.C.Obs != nil {
+		r.C.Obs.Emit(obs.Event{Epoch: r.decide, Type: obs.EvFallback, Src: -1, Dst: -1,
+			Q: fb.Q, Val: fb.PredictedR, Note: reason})
+	}
+	return Decision{Plan: fb, Changed: planChanged(fb), Degraded: true, Reason: reason}, nil
+}
+
+// hold keeps the current state without touching the fabric: degraded
+// stays on the fallback, normal keeps the incumbent plan.
+func (r *Resilient) hold(reason string) (Decision, error) {
+	if !r.degraded {
+		return Decision{}, fmt.Errorf("controlplane: hold outside degraded mode (internal error)")
+	}
+	fb, err := r.fallback()
+	if err != nil {
+		return Decision{}, fmt.Errorf("controlplane: cannot build fallback: %w", err)
+	}
+	return Decision{Plan: fb, Degraded: true, Reason: reason}, nil
+}
+
+// planChanged reports whether an applied plan altered the installed
+// schedule: the first apply always does, later ones only when the ocs
+// diff rewrites at least one slot.
+func planChanged(p *Plan) bool {
+	return p.Update == nil || p.Update.TotalSlotChanges() > 0
+}

@@ -1,0 +1,276 @@
+package controlplane
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/schedule"
+	"repro/internal/workload"
+)
+
+func newResilient(t *testing.T) (*Resilient, *schedule.Cliques) {
+	t.Helper()
+	c, err := NewController(32, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewResilient(c)
+	cl, err := schedule.EqualCliques(32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, cl
+}
+
+func observeLocality(t *testing.T, r *Resilient, cl *schedule.Cliques, x float64) {
+	t.Helper()
+	tm, err := workload.Locality(cl, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.C.Observe(tm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResilientFallsBackWithoutObservations(t *testing.T) {
+	r, _ := newResilient(t)
+	d, err := r.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Degraded || d.Reason != "no_observations" {
+		t.Fatalf("decision = %+v, want degraded with no_observations", d)
+	}
+	if !d.Changed {
+		t.Fatal("first fallback must install a schedule")
+	}
+	if d.Plan.Built == nil || r.C.Current() != d.Plan.Built {
+		t.Fatal("fallback schedule not installed")
+	}
+	// Still degraded next epoch, but the fallback is already installed.
+	d2, err := r.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Degraded || d2.Changed {
+		t.Fatalf("second epoch = %+v, want degraded and unchanged", d2)
+	}
+}
+
+func TestResilientStaleThenRecovers(t *testing.T) {
+	r, cl := newResilient(t)
+	r.StaleEpochs = 2
+	r.RecoverAfter = 3
+
+	observeLocality(t, r, cl, 0.5)
+	d, err := r.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Degraded {
+		t.Fatalf("healthy first epoch degraded: %+v", d)
+	}
+	normalPlan := d.Plan
+
+	// No new observations: after StaleEpochs quiet epochs the estimate
+	// goes stale and the controller retreats.
+	sawFallback := false
+	for i := 0; i < 4; i++ {
+		d, err = r.Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Degraded {
+			if d.Reason != "stale_estimate" {
+				t.Fatalf("degraded for %q, want stale_estimate", d.Reason)
+			}
+			sawFallback = true
+		}
+	}
+	if !sawFallback || !r.Degraded() {
+		t.Fatal("controller never went stale-degraded")
+	}
+	if r.C.Current() == normalPlan.Built {
+		t.Fatal("fallback schedule was not installed")
+	}
+
+	// Fresh observations resume flowing: recovery requires RecoverAfter
+	// consecutive healthy epochs (hysteresis), not one.
+	for i := 0; i < r.RecoverAfter-1; i++ {
+		observeLocality(t, r, cl, 0.5)
+		d, err = r.Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Degraded {
+			t.Fatalf("recovered after only %d healthy epochs", i+1)
+		}
+	}
+	observeLocality(t, r, cl, 0.5)
+	d, err = r.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Degraded || r.Degraded() {
+		t.Fatal("controller did not recover after the hysteresis streak")
+	}
+	if !d.Changed {
+		t.Fatal("recovery must reinstall the demand-aware schedule")
+	}
+}
+
+func TestResilientHysteresisResetsOnRelapse(t *testing.T) {
+	r, cl := newResilient(t)
+	r.StaleEpochs = 1
+	r.RecoverAfter = 3
+
+	// Go degraded via staleness.
+	observeLocality(t, r, cl, 0.5)
+	if _, err := r.Decide(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Decide(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Degraded() {
+		t.Fatal("setup: expected degraded")
+	}
+	// Two healthy epochs, then a relapse: the streak must reset.
+	for i := 0; i < 2; i++ {
+		observeLocality(t, r, cl, 0.5)
+		if _, err := r.Decide(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Decide(); err != nil { // stale again
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		observeLocality(t, r, cl, 0.5)
+		d, err := r.Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Degraded {
+			t.Fatal("relapse did not reset the recovery streak")
+		}
+	}
+}
+
+func TestResilientRejectsLocalityBlowup(t *testing.T) {
+	r, cl := newResilient(t)
+	r.XMax = 0.9
+	observeLocality(t, r, cl, 0.99)
+	d, err := r.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Degraded || d.Reason != "locality_blowup" {
+		t.Fatalf("decision = %+v, want degraded with locality_blowup", d)
+	}
+}
+
+func TestResilientBacksOffOnPlanErrors(t *testing.T) {
+	r, cl := newResilient(t)
+	r.StaleEpochs = 1 << 30 // staleness out of the picture
+	r.MaxBackoff = 4
+	observeLocality(t, r, cl, 0.5)
+	r.C.MaxQ = 0 // every PlanNext now fails (degenerate q rejected)
+
+	ob := obs.New(obs.Options{})
+	r.C.Obs = ob
+
+	// First failing epoch: fallback + plan_error with 1-epoch backoff.
+	d, err := r.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Degraded || !strings.HasPrefix(d.Reason, "plan_error") {
+		t.Fatalf("decision = %+v, want plan_error degradation", d)
+	}
+	// Drive many epochs; count actual probe attempts via plan_error
+	// events. Exponential backoff (1,2,4,4,…) must keep attempts well
+	// below the epoch count.
+	for i := 0; i < 20; i++ {
+		if _, err := r.Decide(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	attempts := 0
+	var delays []float64
+	for _, e := range ob.Events() {
+		if e.Type == obs.EvPlanError {
+			attempts++
+			delays = append(delays, e.Val)
+		}
+	}
+	if attempts == 0 || attempts > 8 {
+		t.Fatalf("got %d probe attempts over 21 epochs, want backoff-bounded (1..8]", attempts)
+	}
+	for i, v := range delays {
+		if v > float64(r.MaxBackoff) {
+			t.Fatalf("delay %f exceeds MaxBackoff %d", v, r.MaxBackoff)
+		}
+		if i > 0 && v < delays[i-1] && delays[i-1] < float64(r.MaxBackoff) {
+			t.Fatalf("backoff shrank before hitting the cap: %v", delays)
+		}
+	}
+
+	// Repair the planner: backoff drains, probes resume, and the
+	// hysteresis eventually recovers.
+	r.C.MaxQ = 16
+	recovered := false
+	for i := 0; i < 3*(r.RecoverAfter+r.MaxBackoff); i++ {
+		observeLocality(t, r, cl, 0.5)
+		d, err := r.Decide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Degraded {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatal("controller never recovered after the planner was fixed")
+	}
+}
+
+func TestResilientEmitsTransitionEvents(t *testing.T) {
+	r, cl := newResilient(t)
+	r.StaleEpochs = 1
+	r.RecoverAfter = 2
+	ob := obs.New(obs.Options{})
+	r.C.Obs = ob
+
+	observeLocality(t, r, cl, 0.5)
+	if _, err := r.Decide(); err != nil { // healthy
+		t.Fatal(err)
+	}
+	if _, err := r.Decide(); err != nil { // stale -> fallback
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // healthy streak -> recover
+		observeLocality(t, r, cl, 0.5)
+		if _, err := r.Decide(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sawFallback, sawRecover bool
+	for _, e := range ob.Events() {
+		switch e.Type {
+		case obs.EvFallback:
+			sawFallback = true
+			if e.Note != "stale_estimate" {
+				t.Fatalf("fallback note %q, want stale_estimate", e.Note)
+			}
+		case obs.EvRecover:
+			sawRecover = true
+		}
+	}
+	if !sawFallback || !sawRecover {
+		t.Fatalf("events missing: fallback=%v recover=%v", sawFallback, sawRecover)
+	}
+}

@@ -45,11 +45,7 @@ type Network struct {
 // x, using the throughput-optimal oversubscription q* = 2/(1−x) (clamped
 // to 16 so the schedule keeps inter-clique slots).
 func NewSORN(n, nc int, locality float64) (*Network, error) {
-	q := model.SORNQ(locality)
-	if q > 16 {
-		q = 16
-	}
-	return NewSORNWithQ(n, nc, q)
+	return NewSORNWithQ(n, nc, model.SORNQClamped(locality, 16))
 }
 
 // NewSORNWithQ builds a semi-oblivious network with an explicit

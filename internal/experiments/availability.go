@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/faultplan"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/routing"
+	"repro/internal/workload"
+)
+
+// AvailabilityConfig parameterizes the availability experiment: open-loop
+// traffic over a scripted fault plan, comparing the full semi-oblivious
+// loop (demand-aware planning with graceful degradation to the oblivious
+// fallback) against the static uniform oblivious schedule.
+type AvailabilityConfig struct {
+	N, Nc int
+	// X is the offered locality of the traffic (and the initial SORN
+	// provisioning point).
+	X float64
+	// Load is the offered load as a fraction of node bandwidth.
+	Load float64
+	// Slots is the run length. Window is the reporting granularity in
+	// slots (default Slots/50); EpochSlots the control-loop cadence
+	// (default 500).
+	Slots      int64
+	Window     int64
+	EpochSlots int64
+	// OutageStart/OutageEnd bound a telemetry outage: control epochs in
+	// [OutageStart, OutageEnd) receive no traffic observations, so the
+	// estimate goes stale and the controller must degrade. Zero values
+	// mean telemetry stays up for the whole run.
+	OutageStart, OutageEnd int64
+	// Plan is the data-plane fault schedule (may be empty). Both designs
+	// replay the identical plan.
+	Plan *faultplan.Plan
+	Seed uint64
+	// Workers shards each simulation step (0 = one per CPU, 1 = serial);
+	// the whole experiment is bit-identical for every value.
+	Workers int
+	// Obs, when non-nil, captures both runs' metric series and the
+	// fault/fallback/recovery event trace.
+	Obs *obs.Observer
+}
+
+func (cfg AvailabilityConfig) withDefaults() AvailabilityConfig {
+	if cfg.Window == 0 {
+		cfg.Window = cfg.Slots / 50
+		if cfg.Window == 0 {
+			cfg.Window = 1
+		}
+	}
+	if cfg.EpochSlots == 0 {
+		cfg.EpochSlots = 500
+	}
+	return cfg
+}
+
+// AvailabilityWindow is one reporting window of one design's time series.
+type AvailabilityWindow struct {
+	Slot       int64   // window end (exclusive)
+	Throughput float64 // delivered cells per node per slot within the window
+	Backlog    int64   // queued cells at window end
+	Lost       int64   // cells lost to failures within the window
+	Dropped    int64   // cells dropped by full queues within the window
+	// Degraded reports whether the control plane was on the oblivious
+	// fallback at window end (always false for the static baseline).
+	Degraded bool
+}
+
+// AvailabilityResult carries both time series and the degradation
+// lifecycle observed during the SORN run.
+type AvailabilityResult struct {
+	SORN      []AvailabilityWindow
+	Oblivious []AvailabilityWindow
+	// FellBack / Recovered report whether the controller entered
+	// degraded mode at least once, and whether it subsequently resumed
+	// demand-aware operation.
+	FellBack  bool
+	Recovered bool
+	// SORNStats / ObliviousStats are the cumulative end-of-run stats.
+	SORNStats      netsim.Stats
+	ObliviousStats netsim.Stats
+}
+
+// Availability runs the availability experiment. Both designs see the
+// same Poisson workload (same seed) and the same fault plan; the SORN
+// run additionally runs the resilient control loop every EpochSlots,
+// feeding it the offered matrix as its telemetry except during the
+// configured outage. The throughput/backlog/loss series shows the
+// fallback costing SORN its demand-aware edge — but not its worst-case
+// floor — while faults and telemetry outages are in effect, and the
+// recovery restoring it.
+func Availability(cfg AvailabilityConfig) (*AvailabilityResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("experiments: availability needs positive Slots, got %d", cfg.Slots)
+	}
+	if cfg.Plan == nil {
+		var err error
+		cfg.Plan, err = faultplan.New(cfg.N, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Plan.N() != cfg.N {
+		return nil, fmt.Errorf("experiments: fault plan over %d nodes, experiment over %d", cfg.Plan.N(), cfg.N)
+	}
+
+	res := &AvailabilityResult{}
+
+	// Semi-oblivious: initial schedule provisioned at the offered
+	// locality, resilient controller re-planning every epoch.
+	sorn, err := core.NewSORN(cfg.N, cfg.Nc, cfg.X)
+	if err != nil {
+		return nil, err
+	}
+	tm, err := sorn.LocalityMatrix(cfg.X)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := controlplane.NewController(cfg.N, cfg.Nc, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	ctl.Obs = cfg.Obs
+	resil := controlplane.NewResilient(ctl)
+	res.SORN, res.SORNStats, err = runAvailability(cfg, sorn, tm, "SORN+fallback", resil)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range res.SORN {
+		if w.Degraded {
+			res.FellBack = true
+		} else if res.FellBack {
+			res.Recovered = true
+		}
+	}
+
+	// Static uniform oblivious baseline: the schedule the fallback uses,
+	// with no control loop at all.
+	obl, err := core.NewSORNWithQ(cfg.N, cfg.Nc, 2)
+	if err != nil {
+		return nil, err
+	}
+	res.Oblivious, res.ObliviousStats, err = runAvailability(cfg, obl, tm, "oblivious", nil)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runAvailability drives one design through the fault plan. resil is nil
+// for the static baseline. The slot loop interleaves, in fixed order:
+// fault events, the control epoch, flow arrivals, then the Step — so a
+// slot's failures affect that slot's transmissions and a control
+// decision at slot t plans against everything observed strictly before
+// t.
+func runAvailability(cfg AvailabilityConfig, nw *core.Network, tm *workload.Matrix,
+	label string, resil *controlplane.Resilient) ([]AvailabilityWindow, netsim.Stats, error) {
+	if cfg.Obs != nil {
+		cfg.Obs.StartRun(label)
+	}
+	sim, err := nw.NewSim(core.SimOptions{
+		Seed: cfg.Seed, Workers: cfg.Workers, LatencySampleEvery: 16, Obs: cfg.Obs,
+	})
+	if err != nil {
+		return nil, netsim.Stats{}, err
+	}
+	// The workload stream is seeded independently of the sim and shared
+	// (by value of the seed) across both designs: identical arrivals,
+	// identical faults, different fabrics.
+	gen, err := workload.NewPoissonFlows(tm, workload.FixedSize(8), cfg.Load, cfg.Seed+1)
+	if err != nil {
+		return nil, netsim.Stats{}, err
+	}
+	flows := gen.Window(0, cfg.Slots)
+	drv := faultplan.NewDriver(cfg.Plan)
+
+	sim.StartMeasuring()
+	var out []AvailabilityWindow
+	var prev netsim.Stats
+	next := 0
+	for slot := int64(0); slot < cfg.Slots; slot++ {
+		drv.Advance(sim, slot)
+		if resil != nil && slot%cfg.EpochSlots == 0 {
+			// Telemetry outage: the fabric keeps running, the controller
+			// just stops hearing about it.
+			if slot < cfg.OutageStart || slot >= cfg.OutageEnd {
+				if err := resil.C.Observe(tm); err != nil {
+					return nil, netsim.Stats{}, err
+				}
+			}
+			dec, err := resil.Decide()
+			if err != nil {
+				return nil, netsim.Stats{}, err
+			}
+			if dec.Changed {
+				if err := sim.Reconfigure(dec.Plan.Built.Schedule, routing.NewSORN(dec.Plan.Built)); err != nil {
+					return nil, netsim.Stats{}, err
+				}
+			}
+		}
+		for next < len(flows) && flows[next].Arrival <= slot {
+			f := flows[next]
+			sim.InjectFlow(f.Src, f.Dst, f.Size)
+			next++
+		}
+		sim.Step()
+		if (slot+1)%cfg.Window == 0 || slot == cfg.Slots-1 {
+			cur := *sim.Stats()
+			w := AvailabilityWindow{
+				Slot:    slot + 1,
+				Backlog: sim.Backlog(),
+				Lost:    cur.LostCells - prev.LostCells,
+				Dropped: cur.DroppedCells - prev.DroppedCells,
+			}
+			span := cfg.Window
+			if r := (slot + 1) % cfg.Window; r != 0 {
+				span = r
+			}
+			w.Throughput = float64(cur.DeliveredCells-prev.DeliveredCells) /
+				(float64(cfg.N) * float64(span))
+			if resil != nil {
+				w.Degraded = resil.Degraded()
+			}
+			out = append(out, w)
+			prev = cur
+		}
+	}
+	return out, *sim.Stats(), nil
+}

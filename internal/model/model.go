@@ -143,8 +143,13 @@ type SORNParams struct {
 }
 
 // SORNQ returns the throughput-optimal oversubscription q* = 2/(1−x).
+// q* diverges as x→1 and SORNQ(1) is +Inf by design — callers that need
+// a buildable schedule must use SORNQClamped, which is finite over the
+// whole domain. NaN is rejected like any other out-of-domain input (a
+// NaN locality ratio means the estimate is corrupt, and NaN would
+// otherwise slide through every range check unnoticed).
 func SORNQ(x float64) float64 {
-	if x < 0 || x > 1 {
+	if math.IsNaN(x) || x < 0 || x > 1 {
 		panic(fmt.Sprintf("model: locality ratio %f outside [0,1]", x))
 	}
 	//sornlint:ignore floateq -- x = 1 exactly is the documented divergence point
@@ -152,6 +157,22 @@ func SORNQ(x float64) float64 {
 		return math.Inf(1)
 	}
 	return 2 / (1 - x)
+}
+
+// SORNQClamped returns q* clamped to at most maxQ, so the result is
+// finite and positive for every x in [0,1] — the form schedule builders
+// need (q* = +Inf at x = 1 would mean a schedule with no inter-clique
+// slots at all, which forfeits the oblivious worst-case guarantee).
+// maxQ must be positive and finite.
+func SORNQClamped(x, maxQ float64) float64 {
+	if math.IsNaN(maxQ) || math.IsInf(maxQ, 0) || maxQ <= 0 {
+		panic(fmt.Sprintf("model: q clamp %f must be positive and finite", maxQ))
+	}
+	q := SORNQ(x)
+	if q > maxQ {
+		return maxQ
+	}
+	return q
 }
 
 // SORNThroughput returns the worst-case throughput r = 1/(3−x) at q*.

@@ -111,12 +111,34 @@ func TestSORNQAndThroughput(t *testing.T) {
 	if !math.IsInf(SORNQ(1), 1) {
 		t.Fatal("q*(1) should be +Inf")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("SORNQ(-1) did not panic")
-		}
-	}()
-	SORNQ(-1)
+	for name, x := range map[string]float64{"-1": -1, "NaN": math.NaN(), "+Inf": math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SORNQ(%s) did not panic", name)
+				}
+			}()
+			SORNQ(x)
+		}()
+	}
+}
+
+func TestSORNQClamped(t *testing.T) {
+	// Below the clamp it is exactly q*; above, exactly the clamp — and
+	// finite even at the x=1 divergence point.
+	approx(t, "clamped q*(0.5)", SORNQClamped(0.5, 16), SORNQ(0.5), 1e-12)
+	approx(t, "clamped q*(0.99)", SORNQClamped(0.99, 16), 16, 1e-12)
+	approx(t, "clamped q*(1)", SORNQClamped(1, 16), 16, 1e-12)
+	for name, maxQ := range map[string]float64{"0": 0, "-1": -1, "NaN": math.NaN(), "+Inf": math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SORNQClamped with maxQ=%s did not panic", name)
+				}
+			}()
+			SORNQClamped(0.5, maxQ)
+		}()
+	}
 }
 
 func TestSORNThroughputAtQOptimality(t *testing.T) {

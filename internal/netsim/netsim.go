@@ -585,17 +585,17 @@ func (s *Sim) Drained() bool { return s.Backlog() == 0 && s.InFlight() == 0 }
 // StartMeasuring begins counting deliveries/injections (after warmup).
 func (s *Sim) StartMeasuring() { s.measuring = true }
 
-// failGuard enforces the failure-injection contract: FailLink and
-// FailNode mutate state — including the lazily allocated failedLink
-// bitmap — that transmit shards read with no synchronization beyond the
-// goroutine creation/join edges of runPhase. Injecting between Steps is
-// therefore safe for every worker count (each Step's goroutines start
-// after the mutation and the creation edge publishes it), while
-// injecting during a Step is a data race; the guard turns that misuse
-// into a deterministic panic instead.
+// failGuard enforces the failure-injection contract: FailLink, FailNode,
+// RepairLink, and RepairNode mutate state — including the lazily
+// allocated failedLink bitmap — that transmit shards read with no
+// synchronization beyond the goroutine creation/join edges of runPhase.
+// Injecting between Steps is therefore safe for every worker count (each
+// Step's goroutines start after the mutation and the creation edge
+// publishes it), while injecting during a Step is a data race; the guard
+// turns that misuse into a deterministic panic instead.
 func (s *Sim) failGuard() {
 	if s.stepping {
-		panic("netsim: FailLink/FailNode called during Step; inject failures between Steps")
+		panic("netsim: fail/repair called during Step; inject failures and repairs between Steps")
 	}
 }
 
@@ -647,6 +647,42 @@ func (s *Sim) FailNode(u int) {
 	}
 	if s.obs != nil {
 		s.obs.Emit(obs.Event{Slot: s.slot, Type: obs.EvFailNode, Src: u, Dst: -1, Cells: purged})
+	}
+}
+
+// RepairLink restores the circuit u→v after a FailLink. Repairing a link
+// that is not failed is a no-op (no event), so scripted fault plans can
+// overlap repairs without tracking exact state. The failedLink bitmap is
+// kept once allocated: a repaired simulation has seen churn and may see
+// more, so the fault-free fast path is not restored. Call between Steps
+// only — the same contract as FailLink (see failGuard).
+func (s *Sim) RepairLink(u, v int) {
+	s.failGuard()
+	if s.failedLink == nil || !s.failedLink[u*s.n+v] {
+		return
+	}
+	s.failedLink[u*s.n+v] = false
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{Slot: s.slot, Type: obs.EvRepairLink, Src: u, Dst: v})
+	}
+}
+
+// RepairNode restores node u after a FailNode. The node returns to
+// service with empty queues — everything it held was purged (and
+// accounted as lost) at failure time — so conservation holds trivially
+// across fail→repair→fail churn: repair moves no cells, it only re-opens
+// the transmit/forward/landing paths. Cells injected or routed through u
+// after the repair flow normally. Repairing a live node is a no-op.
+// Call between Steps only — the same contract as FailNode (see
+// failGuard).
+func (s *Sim) RepairNode(u int) {
+	s.failGuard()
+	if !s.failedNode[u] {
+		return
+	}
+	s.failedNode[u] = false
+	if s.obs != nil {
+		s.obs.Emit(obs.Event{Slot: s.slot, Type: obs.EvRepairNode, Src: u, Dst: -1})
 	}
 }
 

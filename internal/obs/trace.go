@@ -21,6 +21,23 @@ const (
 	// EvFailNode marks a FailNode(Src) injection; Cells is how many
 	// queued cells the failure lost.
 	EvFailNode = "fail_node"
+	// EvRepairLink / EvRepairNode mark the inverse operations: the
+	// directed link Src→Dst (or node Src) returns to service. Repairs
+	// never carry cells — a failed node's queues were purged at failure
+	// time, so repair starts from an empty state.
+	EvRepairLink = "repair_link"
+	EvRepairNode = "repair_node"
+	// EvFallback / EvRecover bracket the control plane's degraded mode:
+	// on fallback the controller abandons its demand-aware plan for the
+	// uniform oblivious schedule (Note says why, Epoch the decision
+	// ordinal), and on recovery it resumes demand-aware planning after
+	// the hysteresis count of consecutively healthy epochs (Val).
+	EvFallback = "fallback"
+	EvRecover  = "recover"
+	// EvPlanError records a failed PlanNext/Apply attempt and the
+	// retry-with-backoff decision: Note carries the error, Val the number
+	// of epochs until the next attempt.
+	EvPlanError = "plan_error"
 	// EvReconfigBegin / EvReconfigCommit bracket a schedule swap; on
 	// commit Cells is the number of queued cells re-routed. EvReconfigDrain
 	// reports a graceful update's drain: Val is the slots spent draining,

@@ -31,7 +31,7 @@ done
 if [ "$quick" = 1 ]; then
   tmp="$(mktemp)"
   trap 'rm -f "$tmp"' EXIT
-  go test -run NONE -bench 'BenchmarkStepSaturated|BenchmarkInjectSaturated' \
+  go test -run NONE -bench 'BenchmarkStepSaturated|BenchmarkStepChurn|BenchmarkInjectSaturated' \
     -benchtime 200x -benchmem ./internal/netsim/ |
     go run ./cmd/benchjson -label quick-smoke -out "$tmp"
   echo "bench.sh -quick: harness OK"
@@ -52,6 +52,6 @@ workers="${NETSIM_WORKERS:-auto}"
 
 {
   go test -run NONE -bench 'BenchmarkFigure2fSimulated$' -benchtime 1x -count 3 -benchmem .
-  go test -run NONE -bench 'BenchmarkStepSaturated|BenchmarkInjectSaturated' -benchmem ./internal/netsim/
+  go test -run NONE -bench 'BenchmarkStepSaturated|BenchmarkStepChurn|BenchmarkInjectSaturated' -benchmem ./internal/netsim/
 } | tee /dev/stderr | go run ./cmd/benchjson -label "$label" -out "$out" \
     -gomaxprocs "$gomaxprocs" -workers "$workers"

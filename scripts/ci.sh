@@ -68,6 +68,8 @@ export SORNLINT_CI_RAN=1
 echo "== go test ./..."
 go test ./...
 
+# TestParallelDeterminism* covers both the plain open-loop scenarios and
+# the fault-plan variant (scripted outages + random churn between Steps).
 echo "== go test -race -run 'TestParallelDeterminism|TestObsNonPerturbation' ./internal/netsim/"
 go test -race -run 'TestParallelDeterminism|TestObsNonPerturbation' ./internal/netsim/
 
