@@ -15,6 +15,7 @@
 package repro_test
 
 import (
+	"flag"
 	"fmt"
 	"testing"
 
@@ -25,6 +26,22 @@ import (
 	"repro/internal/phys"
 	"repro/internal/schedule"
 )
+
+// benchSweepFresh disables cross-point simulator reuse in the sweep
+// benchmarks, so the CI gate can price the netsim.Reset reuse path as an
+// A/B against fresh per-point allocation:
+//
+//	go test -run NONE -bench Fig2fSweepQuick                   # pooled
+//	go test -run NONE -bench Fig2fSweepQuick -benchsweepfresh  # fresh
+var benchSweepFresh = flag.Bool("benchsweepfresh", false,
+	"allocate a fresh simulator per sweep point instead of reusing pooled ones")
+
+// reportSweepMetrics records the ledger metadata benchjson renders for
+// sweep benchmarks: the point count and the wall-clock cost per point.
+func reportSweepMetrics(b *testing.B, points int) {
+	b.ReportMetric(float64(points), "points")
+	b.ReportMetric(b.Elapsed().Seconds()*1000/float64(b.N)/float64(points), "ms/point")
+}
 
 // BenchmarkTable1 regenerates the paper's Table 1 and reports each row's
 // minimum latency and throughput as metrics.
@@ -154,13 +171,69 @@ func BenchmarkFigure2fSimulated(b *testing.B) {
 	}
 }
 
+// BenchmarkFig2fSweep runs the paper's full default Figure 2(f) sweep
+// (eleven x points, 25000+25000 slots each) through the bounded-parallel
+// sweep engine with the shared build cache and pooled simulators — the
+// headline wall-clock number for the sweep engine, tracked in the
+// BENCH_netsim.json ledger. -benchsweepfresh disables the simulator pool.
+func BenchmarkFig2fSweep(b *testing.B) {
+	cfg := experiments.DefaultFig2fConfig()
+	cfg.NoSimReuse = *benchSweepFresh
+	var pts []experiments.Fig2fPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Fig2f(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[len(pts)-1].Sim, "thpt_x1.00")
+	reportSweepMetrics(b, len(pts))
+}
+
+// BenchmarkFig2fSweepQuick is the CI-sized variant of BenchmarkFig2fSweep
+// (three x points, 1500+1500 slots): fast enough for the ci.sh fresh-vs-
+// pooled A/B gate, same code path as the full sweep.
+func BenchmarkFig2fSweepQuick(b *testing.B) {
+	cfg := experiments.DefaultFig2fConfig()
+	cfg.N, cfg.Nc = 64, 8
+	cfg.Step = 0.5
+	cfg.WarmupSlots, cfg.MeasureSlots = 1500, 1500
+	cfg.SizeCap = 512
+	cfg.NoSimReuse = *benchSweepFresh
+	var pts []experiments.Fig2fPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Fig2f(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSweepMetrics(b, len(pts))
+}
+
+// BenchmarkQSweep prices the analytical q-sweep (A2 at ledger scale:
+// nine q values through the shared build cache) under the sweep engine.
+func BenchmarkQSweep(b *testing.B) {
+	qs := []float64{1, 1.5, 2, 3, model.SORNQ(0.56), 5, 6, 8, 12}
+	var pts []experiments.QSweepPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.QSweep(64, 8, 0.56, qs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSweepMetrics(b, len(pts))
+}
+
 // BenchmarkAblationLocalityMismatch (A1) reports throughput with a
 // mis-estimated locality x̂=0.5 against actual x ∈ {0.3, 0.7}.
 func BenchmarkAblationLocalityMismatch(b *testing.B) {
 	var pts []experiments.MismatchPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = experiments.LocalityMismatch(64, 8, []float64{0.5}, []float64{0.3, 0.5, 0.7})
+		pts, err = experiments.LocalityMismatch(64, 8, []float64{0.5}, []float64{0.3, 0.5, 0.7}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -177,7 +250,7 @@ func BenchmarkAblationQSweep(b *testing.B) {
 	var pts []experiments.QSweepPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = experiments.QSweep(64, 8, 0.56, qs)
+		pts, err = experiments.QSweep(64, 8, 0.56, qs, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -193,7 +266,7 @@ func BenchmarkAblationNcSweep(b *testing.B) {
 	var rows []experiments.NcSweepRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.NcSweep(model.Table1Params(), 0.56, []int{16, 64, 256}, 256)
+		rows, err = experiments.NcSweep(model.Table1Params(), 0.56, []int{16, 64, 256}, 256, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -210,7 +283,7 @@ func BenchmarkAblationBlastRadius(b *testing.B) {
 	var rows []experiments.BlastRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.BlastRadius(64, 8, 3)
+		rows, err = experiments.BlastRadius(64, 8, 3, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -244,7 +317,7 @@ func BenchmarkAblationGravity(b *testing.B) {
 	var pts []experiments.GravityPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = experiments.Gravity(64, 8, mass, []float64{1, 2, 4})
+		pts, err = experiments.Gravity(64, 8, mass, []float64{1, 2, 4}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -276,7 +349,7 @@ func BenchmarkLatencyOrdering(b *testing.B) {
 	var rows []experiments.LatencyRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.LatencyComparison(64, 8, 1, 0.05, 17)
+		rows, err = experiments.LatencyComparison(64, 8, 1, 0.05, 17, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

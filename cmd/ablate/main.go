@@ -41,6 +41,7 @@ func main() {
 	n := flag.Int("n", 64, "nodes for built-schedule experiments")
 	nc := flag.Int("nc", 8, "cliques")
 	seed := flag.Uint64("seed", 11, "simulation seed")
+	sweepWorkers := flag.Int("sweepworkers", 0, "concurrent sweep points (0 = one per CPU, 1 = serial); results are bit-identical for every value")
 	tracePath := flag.String("trace", "", "write the event trace (flow/failure/reconfig/replan) as JSONL to this file (adapt, diurnal, fct)")
 	metricsPath := flag.String("metrics", "", "write the slot-resolved metric time series as CSV to this file (adapt, fct)")
 	metricsEvery := flag.Int64("metricsevery", 64, "series snapshot cadence in slots")
@@ -56,20 +57,20 @@ func main() {
 	}
 
 	run := map[string]func(){
-		"mismatch": func() { mismatch(*n, *nc) },
-		"qsweep":   func() { qsweep(*n, *nc) },
-		"ncsweep":  ncsweep,
-		"blast":    func() { blast(*n, *nc) },
+		"mismatch": func() { mismatch(*n, *nc, *sweepWorkers) },
+		"qsweep":   func() { qsweep(*n, *nc, *sweepWorkers) },
+		"ncsweep":  func() { ncsweep(*sweepWorkers) },
+		"blast":    func() { blast(*n, *nc, *sweepWorkers) },
 		"adapt":    func() { adapt(*n, *nc, *seed, ob) },
-		"gravity":  func() { gravity(*n, *nc) },
+		"gravity":  func() { gravity(*n, *nc, *sweepWorkers) },
 		"pairs":    func() { pairs(*n, *nc) },
-		"latency":  func() { latency(*n, *nc, *seed) },
-		"planes":   func() { planes(*n, *nc, *seed) },
+		"latency":  func() { latency(*n, *nc, *seed, *sweepWorkers) },
+		"planes":   func() { planes(*n, *nc, *seed, *sweepWorkers) },
 		"sync":     sync,
 		"state":    state,
-		"diurnal":  func() { diurnal(*n, *nc, ob) },
+		"diurnal":  func() { diurnal(*n, *nc, ob, *sweepWorkers) },
 		"phys":     phys,
-		"fct":      func() { fct(*n, *nc, *seed, ob) },
+		"fct":      func() { fct(*n, *nc, *seed, ob, *sweepWorkers) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"mismatch", "qsweep", "ncsweep", "blast", "adapt", "gravity", "pairs", "latency", "planes", "sync", "state", "diurnal", "phys", "fct"} {
@@ -123,11 +124,11 @@ func writeObs(ob *obs.Observer, tracePath, metricsPath string) {
 	}
 }
 
-func mismatch(n, nc int) {
+func mismatch(n, nc, sweepWorkers int) {
 	fmt.Println("A1 — locality estimation error margin (schedule built for x̂, traffic has x):")
 	planned := []float64{0.2, 0.5, 0.8}
 	actual := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
-	pts, err := experiments.LocalityMismatch(n, nc, planned, actual)
+	pts, err := experiments.LocalityMismatch(n, nc, planned, actual, sweepWorkers)
 	if err != nil {
 		fatal(err)
 	}
@@ -146,10 +147,10 @@ func mismatch(n, nc int) {
 	fmt.Print(tb.String())
 }
 
-func qsweep(n, nc int) {
+func qsweep(n, nc, sweepWorkers int) {
 	x := 0.56
 	fmt.Printf("A2 — throughput vs oversubscription q at x=%.2f (q* = %.2f):\n", x, model.SORNQ(x))
-	pts, err := experiments.QSweep(n, nc, x, []float64{1, 2, 3, 4, model.SORNQ(x), 6, 8, 12, 16})
+	pts, err := experiments.QSweep(n, nc, x, []float64{1, 2, 3, 4, model.SORNQ(x), 6, 8, 12, 16}, sweepWorkers)
 	if err != nil {
 		fatal(err)
 	}
@@ -161,10 +162,10 @@ func qsweep(n, nc int) {
 	fmt.Print(tb.String())
 }
 
-func ncsweep() {
+func ncsweep(sweepWorkers int) {
 	p := model.Table1Params()
 	fmt.Printf("A3 — latency split vs clique count (N=%d, x=0.56):\n", p.N)
-	rows, err := experiments.NcSweep(p, 0.56, []int{8, 16, 32, 64, 128, 256, 512}, 256)
+	rows, err := experiments.NcSweep(p, 0.56, []int{8, 16, 32, 64, 128, 256, 512}, 256, sweepWorkers)
 	if err != nil {
 		fatal(err)
 	}
@@ -184,9 +185,9 @@ func ncsweep() {
 	fmt.Print(tb.String())
 }
 
-func blast(n, nc int) {
+func blast(n, nc, sweepWorkers int) {
 	fmt.Printf("A4 — failure blast radius (fraction of src-dst pairs affected), N=%d:\n", n)
-	rows, err := experiments.BlastRadius(n, nc, 3)
+	rows, err := experiments.BlastRadius(n, nc, 3, sweepWorkers)
 	if err != nil {
 		fatal(err)
 	}
@@ -219,14 +220,14 @@ func adapt(n, nc int, seed uint64, ob *obs.Observer) {
 	fmt.Print(tb.String())
 }
 
-func gravity(n, nc int) {
+func gravity(n, nc, sweepWorkers int) {
 	fmt.Printf("A6 — gravity-skewed aggregate demand (masses 4:2:2:1...), N=%d:\n", n)
 	mass := make([]float64, nc)
 	for i := range mass {
 		mass[i] = 1
 	}
 	mass[0], mass[1], mass[2] = 4, 2, 2
-	pts, err := experiments.Gravity(n, nc, mass, []float64{1, 2, 3, 4, 6, 8})
+	pts, err := experiments.Gravity(n, nc, mass, []float64{1, 2, 3, 4, 6, 8}, sweepWorkers)
 	if err != nil {
 		fatal(err)
 	}
@@ -255,14 +256,14 @@ func pairs(n, nc int) {
 	fmt.Println("(the BvN demand-aware schedule concentrates inter slots on partner cliques)")
 }
 
-func latency(n, nc int, seed uint64) {
+func latency(n, nc int, seed uint64, sweepWorkers int) {
 	// Larger N separates the designs' cycle times more clearly; 256 is a
 	// perfect square (needed by the 2D ORN) and still simulates quickly.
 	if n < 256 {
 		n = 256
 	}
 	fmt.Printf("L1 — packet-level latency at 5%% load (N=%d, 100 ns slots, 500 ns/hop, 1 uplink):\n", n)
-	rows, err := experiments.LatencyComparison(n, nc, 1, 0.05, seed)
+	rows, err := experiments.LatencyComparison(n, nc, 1, 0.05, seed, sweepWorkers)
 	if err != nil {
 		fatal(err)
 	}
@@ -277,10 +278,10 @@ func latency(n, nc int, seed uint64) {
 	fmt.Println("(Table 1's ordering, measured: SORN intra < 2D ORN < SORN inter < 1D ORN)")
 }
 
-func planes(n, nc int, seed uint64) {
+func planes(n, nc int, seed uint64, sweepWorkers int) {
 	fmt.Printf("U1 — uplink planes divide the schedule wait (N=%d, 5%% load, SORN x=0.56):\n", n)
 	pts, err := experiments.PlaneSweep(experiments.PlaneSweepConfig{
-		N: n, Nc: nc, X: 0.56, Planes: []int{1, 2, 4, 8, 16}, Load: 0.05, Seed: seed,
+		N: n, Nc: nc, X: 0.56, Planes: []int{1, 2, 4, 8, 16}, Load: 0.05, Seed: seed, SweepWorkers: sweepWorkers,
 	})
 	if err != nil {
 		fatal(err)
@@ -327,10 +328,10 @@ func state() {
 	fmt.Print(tb.String())
 }
 
-func diurnal(n, nc int, ob *obs.Observer) {
+func diurnal(n, nc int, ob *obs.Observer, sweepWorkers int) {
 	fmt.Printf("A8 — diurnal locality cycle 0.2..0.8 over 12-epoch periods (N=%d):\n", n)
 	pts, err := experiments.Diurnal(experiments.DiurnalConfig{
-		N: n, Nc: nc, Lo: 0.2, Hi: 0.8, Period: 12, Epochs: 36, Obs: ob,
+		N: n, Nc: nc, Lo: 0.2, Hi: 0.8, Period: 12, Epochs: 36, SweepWorkers: sweepWorkers, Obs: ob,
 	})
 	if err != nil {
 		fatal(err)
@@ -372,10 +373,10 @@ func phys() {
 	fmt.Println(" exactly; a flat all-pairs fabric would need 31 ports per node)")
 }
 
-func fct(n, nc int, seed uint64, ob *obs.Observer) {
+func fct(n, nc int, seed uint64, ob *obs.Observer, sweepWorkers int) {
 	fmt.Printf("F1 — short-flow (16-cell) FCT vs offered load (N=%d, x=0.56):\n", n)
 	pts, err := experiments.FCTvsLoad(experiments.FCTConfig{
-		N: n, Nc: nc, X: 0.56, Loads: []float64{0.1, 0.2, 0.3, 0.4}, Slots: 25000, Seed: seed, Obs: ob,
+		N: n, Nc: nc, X: 0.56, Loads: []float64{0.1, 0.2, 0.3, 0.4}, Slots: 25000, Seed: seed, SweepWorkers: sweepWorkers, Obs: ob,
 	})
 	if err != nil {
 		fatal(err)

@@ -26,7 +26,11 @@
 // Benchmarks present in only one entry are listed explicitly as added
 // or removed; the regression gate judges only benchmarks shared by both
 // entries, and two entries with no shared benchmarks compare clean
-// (exit 0) with a notice, since there is nothing to gate.
+// (exit 0) with a notice, since there is nothing to gate. The table ends
+// with a geomean-speedup summary over the shared benchmarks, and sweep
+// benchmarks that record "points" / "ms/point" metrics (the sweep-engine
+// benchmarks do, via b.ReportMetric) get an indented metadata line with
+// their point count and wall-clock cost per point.
 package main
 
 import (
@@ -35,11 +39,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/sortedmap"
 )
@@ -145,7 +151,22 @@ func compareMain(args []string) int {
 			return 2
 		}
 	}
+	return compareRuns(os.Stdout, os.Stderr, a, b)
+}
 
+// printer renders gate output. Write errors are deliberately discarded:
+// the exit code is the gate's contract, and the writers are stdout/stderr
+// or a test buffer.
+type printer struct{ w io.Writer }
+
+func (p printer) f(format string, args ...any) { _, _ = fmt.Fprintf(p.w, format, args...) }
+func (p printer) ln(args ...any)               { _, _ = fmt.Fprintln(p.w, args...) }
+
+// compareRuns renders the per-benchmark delta table, the sweep metadata
+// lines, and the geomean summary, and returns the gate's exit code. Split
+// from compareMain so the output format is unit-testable.
+func compareRuns(w, errw io.Writer, a, b *Run) int {
+	out, eout := printer{w}, printer{errw}
 	// The suite's composition changes across PRs (benchmarks are added
 	// and retired), so the gate judges only benchmarks present in both
 	// runs; composition changes are reported explicitly instead of
@@ -166,8 +187,9 @@ func compareMain(args []string) int {
 	}
 
 	regressed := false
+	logSpeedupSum, speedups := 0.0, 0
 	if len(shared) > 0 {
-		fmt.Printf("%-34s %14s %14s %9s %9s %9s\n",
+		out.f("%-34s %14s %14s %9s %9s %9s\n",
 			"benchmark", a.Label+" ns/op", b.Label+" ns/op", "speedup", "Δns/op", "Δallocs")
 		for _, name := range shared {
 			ba, bb := a.Bench[name], b.Bench[name]
@@ -181,26 +203,60 @@ func compareMain(args []string) int {
 				line += "  REGRESSION"
 				regressed = true
 			}
-			fmt.Println(line)
+			out.ln(line)
+			if s := sweepDetail(ba, bb); s != "" {
+				out.ln(s)
+			}
+			if ba.NsPerOp > 0 && bb.NsPerOp > 0 {
+				logSpeedupSum += math.Log(ba.NsPerOp / bb.NsPerOp)
+				speedups++
+			}
 		}
 	}
 	for _, name := range added {
-		fmt.Printf("%-34s added in %s\n", strings.TrimPrefix(name, "Benchmark"), b.Label)
+		out.f("%-34s added in %s\n", strings.TrimPrefix(name, "Benchmark"), b.Label)
 	}
 	for _, name := range removed {
-		fmt.Printf("%-34s removed since %s\n", strings.TrimPrefix(name, "Benchmark"), a.Label)
+		out.f("%-34s removed since %s\n", strings.TrimPrefix(name, "Benchmark"), a.Label)
 	}
 	if len(shared) == 0 {
-		fmt.Printf("benchjson: labels %q and %q share no benchmarks (%d added, %d removed); nothing to gate\n",
+		out.f("benchjson: labels %q and %q share no benchmarks (%d added, %d removed); nothing to gate\n",
 			a.Label, b.Label, len(added), len(removed))
 		return 0
 	}
+	if speedups > 0 {
+		// The geomean weights each benchmark's ratio equally regardless of
+		// its absolute ns/op, so one slow sweep can't mask many fast-path
+		// regressions (or vice versa).
+		out.f("geomean speedup: %.2fx over %d shared benchmark(s)\n",
+			math.Exp(logSpeedupSum/float64(speedups)), speedups)
+	}
 	if regressed {
-		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression over %.0f%% between %q and %q\n",
+		eout.f("benchjson: ns/op regression over %.0f%% between %q and %q\n",
 			regressionLimit*100, a.Label, b.Label)
 		return 1
 	}
 	return 0
+}
+
+// sweepDetail renders the wall-clock/point-count metadata that sweep
+// benchmarks record via b.ReportMetric ("points", "ms/point"): one
+// indented line per shared sweep benchmark, or "" for benchmarks without
+// sweep metrics.
+func sweepDetail(ba, bb *Bench) string {
+	pts, ok := bb.Metrics["points"]
+	if !ok {
+		return ""
+	}
+	line := fmt.Sprintf("%-34s %11.0f pts", "  └ sweep", pts)
+	if ms, ok := bb.Metrics["ms/point"]; ok {
+		line += fmt.Sprintf("  %8.1f ms/point", ms)
+		if prev, ok := ba.Metrics["ms/point"]; ok && prev > 0 {
+			line += fmt.Sprintf(" (%s)", deltaPct(prev, ms))
+		}
+	}
+	line += fmt.Sprintf("  wall %s/op", time.Duration(bb.NsPerOp).Round(time.Millisecond))
+	return line
 }
 
 // deltaPct formats a relative change, or "-" when the baseline is zero

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -83,5 +84,54 @@ func TestCompareUnknownLabel(t *testing.T) {
 		map[string]*Bench{"BenchmarkStep": {NsPerOp: 100}})
 	if got := compareMain([]string{"-out", path, "before", "nosuch"}); got != 2 {
 		t.Errorf("unknown label: compare = %d, want 2", got)
+	}
+}
+
+// TestCompareGeomeanSummary: the geomean line weights each shared
+// benchmark's ratio equally — a 4x and a 1x speedup average to 2x.
+func TestCompareGeomeanSummary(t *testing.T) {
+	a := &Run{Label: "before", Bench: map[string]*Bench{
+		"BenchmarkFast": {NsPerOp: 400},
+		"BenchmarkSame": {NsPerOp: 100},
+	}}
+	b := &Run{Label: "after", Bench: map[string]*Bench{
+		"BenchmarkFast": {NsPerOp: 100}, // 4x
+		"BenchmarkSame": {NsPerOp: 100}, // 1x
+	}}
+	var out, errOut strings.Builder
+	if got := compareRuns(&out, &errOut, a, b); got != 0 {
+		t.Fatalf("compareRuns = %d, want 0 (stderr: %s)", got, errOut.String())
+	}
+	want := "geomean speedup: 2.00x over 2 shared benchmark(s)"
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("output missing %q:\n%s", want, out.String())
+	}
+}
+
+// TestCompareSweepMetadata: benchmarks carrying the sweep engine's
+// "points" / "ms/point" metrics get an indented metadata line with the
+// point count, per-point wall cost, and its delta against the baseline.
+func TestCompareSweepMetadata(t *testing.T) {
+	a := &Run{Label: "before", Bench: map[string]*Bench{
+		"BenchmarkFig2fSweep": {NsPerOp: 22e9, Metrics: map[string]float64{"points": 11, "ms/point": 2000}},
+		"BenchmarkStep":       {NsPerOp: 100},
+	}}
+	b := &Run{Label: "after", Bench: map[string]*Bench{
+		"BenchmarkFig2fSweep": {NsPerOp: 11e9, Metrics: map[string]float64{"points": 11, "ms/point": 1000}},
+		"BenchmarkStep":       {NsPerOp: 100},
+	}}
+	var out, errOut strings.Builder
+	if got := compareRuns(&out, &errOut, a, b); got != 0 {
+		t.Fatalf("compareRuns = %d, want 0 (stderr: %s)", got, errOut.String())
+	}
+	text := out.String()
+	for _, want := range []string{"11 pts", "1000.0 ms/point", "(-50.0%)", "wall 11s/op"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// The plain benchmark must not grow a sweep line.
+	if n := strings.Count(text, "└ sweep"); n != 1 {
+		t.Errorf("%d sweep metadata lines, want 1:\n%s", n, text)
 	}
 }

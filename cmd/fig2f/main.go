@@ -8,12 +8,13 @@
 //	         pFabric web-search traffic (the paper's "simulation of 128
 //	         nodes and 8 cliques using real-world traffic")
 //
-// Reference lines: 1D ORN (50%) and 2D ORN (25%). Points run
-// concurrently; results are deterministic for a given seed.
+// Reference lines: 1D ORN (50%) and 2D ORN (25%). Points run on the
+// bounded sweep engine (-sweepworkers); results are bit-identical for
+// every concurrency setting and deterministic for a given seed.
 //
 // Usage:
 //
-//	fig2f [-n 128] [-nc 8] [-step 0.1] [-sim] [-measure 25000] [-csv]
+//	fig2f [-n 128] [-nc 8] [-step 0.1] [-sim] [-measure 25000] [-sweepworkers 0] [-csv]
 package main
 
 import (
@@ -38,6 +39,8 @@ func main() {
 	flag.IntVar(&cfg.SizeCap, "cap", cfg.SizeCap, "flow size cap in cells (p95 of web search; bounds transient)")
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "simulation seed")
 	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "step-shard goroutines per simulation (0 = one per CPU, 1 = serial; results identical)")
+	flag.IntVar(&cfg.SweepWorkers, "sweepworkers", cfg.SweepWorkers, "concurrent sweep points (0 = one per CPU, 1 = serial; results identical)")
+	flag.BoolVar(&cfg.NoSimReuse, "nosimreuse", cfg.NoSimReuse, "allocate a fresh simulator per point instead of reusing pooled ones (A/B knob; results identical)")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	tracePath := flag.String("trace", "", "write each simulated point's event trace as JSONL to this file")
 	metricsPath := flag.String("metrics", "", "write each simulated point's slot-resolved metric series as CSV to this file")

@@ -49,6 +49,7 @@ func main() {
 	planes := flag.Int("planes", 1, "parallel uplinks per node")
 	qlimit := flag.Int("qlimit", 0, "per-VOQ queue limit in cells (0 = unbounded)")
 	workers := flag.Int("workers", 0, "step-shard goroutines (0 = one per CPU, 1 = serial; results identical)")
+	sweepWorkers := flag.Int("sweepworkers", 0, "concurrent sweep points in avail mode (0 = one per CPU, 1 = serial; results identical)")
 	hist := flag.Bool("hist", false, "print a log2 histogram of cell latencies")
 	tracePath := flag.String("trace", "", "write the event trace (flow/failure/reconfig) as JSONL to this file")
 	metricsPath := flag.String("metrics", "", "write the slot-resolved metric time series as CSV to this file")
@@ -201,7 +202,7 @@ func main() {
 			N: *n, Nc: *nc, X: *x, Load: *load,
 			Slots: *slots, Window: *window, EpochSlots: *epochSlots,
 			OutageStart: oStart, OutageEnd: oEnd,
-			Plan: plan, Seed: *seed, Workers: *workers, Obs: ob,
+			Plan: plan, Seed: *seed, Workers: *workers, SweepWorkers: *sweepWorkers, Obs: ob,
 		})
 		if aerr != nil {
 			fatal(aerr)

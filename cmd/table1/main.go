@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -26,26 +27,38 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	textFormula := flag.Bool("text-formula", false,
 		"use the paper text's inter-clique δm formula (q+1)(Nc−1)+... instead of the variant matching the printed table")
+	sweepWorkers := flag.Int("sweepworkers", 0, "concurrent row groups (0 = one per CPU, 1 = serial); results are bit-identical for every value")
 	flag.Parse()
 
 	p := model.Params{N: *n, Uplinks: *uplinks, SlotNS: *slot, PropNS: *prop}
 
-	rows := []model.Row{model.ORN1D(p)}
-	rows = append(rows, model.Opera(p, model.DefaultOperaParams())...)
-	orn2, err := model.ORN(p, 2)
-	if err != nil {
-		fatal(err)
+	// Each design's rows are an independent closed-form evaluation, so
+	// they run as sweep points and concatenate in table order.
+	groups := []func() ([]model.Row, error){
+		func() ([]model.Row, error) { return []model.Row{model.ORN1D(p)}, nil },
+		func() ([]model.Row, error) { return model.Opera(p, model.DefaultOperaParams()), nil },
+		func() ([]model.Row, error) {
+			r, err := model.ORN(p, 2)
+			return []model.Row{r}, err
+		},
 	}
-	rows = append(rows, orn2)
 	for _, nc := range []int{64, 32} {
 		if *n%nc != 0 {
 			continue
 		}
-		sr, err := model.SORN(p, model.SORNParams{Nc: nc, X: *x, TableVariant: !*textFormula})
-		if err != nil {
-			fatal(err)
-		}
-		rows = append(rows, sr...)
+		nc := nc
+		groups = append(groups, func() ([]model.Row, error) {
+			return model.SORN(p, model.SORNParams{Nc: nc, X: *x, TableVariant: !*textFormula})
+		})
+	}
+	rowGroups, err := sweep.Run(sweep.Config{Concurrency: *sweepWorkers}, len(groups),
+		func(pt sweep.Point) ([]model.Row, error) { return groups[pt.Index]() })
+	if err != nil {
+		fatal(err)
+	}
+	var rows []model.Row
+	for _, g := range rowGroups {
+		rows = append(rows, g...)
 	}
 
 	var tb stats.Table

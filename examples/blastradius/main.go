@@ -21,7 +21,7 @@ func main() {
 
 	// Analytical: fraction of src-dst pairs whose routing can transit a
 	// failed element.
-	rows, err := experiments.BlastRadius(n, nc, 3)
+	rows, err := experiments.BlastRadius(n, nc, 3, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

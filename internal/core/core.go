@@ -173,11 +173,19 @@ func (nw *Network) NewSim(opts SimOptions) (*netsim.Sim, error) {
 // every node keeps a backlog of flows (destinations from tm, sizes from
 // dist) and the delivered cells per node per slot is the throughput r.
 func (nw *Network) SimulateSaturated(opts SimOptions, tm *workload.Matrix, dist workload.SizeDist) (*netsim.Stats, error) {
-	opts = opts.withDefaults()
 	sim, err := nw.NewSim(opts)
 	if err != nil {
 		return nil, err
 	}
+	return RunSaturatedOn(sim, opts, tm, dist)
+}
+
+// RunSaturatedOn drives the saturation experiment of SimulateSaturated
+// on an already-built simulator — the shared tail of the fresh path
+// above and the pooled sweep path (SimPool.Acquire + RunSaturatedOn),
+// which is how fresh-vs-pooled runs stay workload-identical.
+func RunSaturatedOn(sim *netsim.Sim, opts SimOptions, tm *workload.Matrix, dist workload.SizeDist) (*netsim.Stats, error) {
+	opts = opts.withDefaults()
 	return sim.RunSaturated(netsim.SaturationConfig{
 		TM:            tm,
 		Size:          dist,
@@ -191,11 +199,19 @@ func (nw *Network) SimulateSaturated(opts SimOptions, tm *workload.Matrix, dist 
 // (fraction of node bandwidth) for `slots` slots and returns the stats
 // (FCTs, latencies, deliveries).
 func (nw *Network) SimulateOpenLoop(opts SimOptions, tm *workload.Matrix, dist workload.SizeDist, load float64, slots int64) (*netsim.Stats, error) {
-	opts = opts.withDefaults()
 	sim, err := nw.NewSim(opts)
 	if err != nil {
 		return nil, err
 	}
+	return RunOpenLoopOn(sim, opts, tm, dist, load, slots)
+}
+
+// RunOpenLoopOn drives the open-loop experiment of SimulateOpenLoop on an
+// already-built simulator — the pooled-sweep counterpart of
+// RunSaturatedOn. The flow trace is regenerated per run from the opts
+// seed, so a pooled and a fresh simulator see the identical workload.
+func RunOpenLoopOn(sim *netsim.Sim, opts SimOptions, tm *workload.Matrix, dist workload.SizeDist, load float64, slots int64) (*netsim.Stats, error) {
+	opts = opts.withDefaults()
 	gen, err := workload.NewPoissonFlows(tm, dist, load, opts.Seed+1)
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/routing"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -41,6 +42,11 @@ type AvailabilityConfig struct {
 	// Workers shards each simulation step (0 = one per CPU, 1 = serial);
 	// the whole experiment is bit-identical for every value.
 	Workers int
+	// SweepWorkers bounds how many of the two design runs execute
+	// concurrently (0 = one per CPU, 1 = serial); bit-identical results
+	// for every value. Forced serial when Obs is set — one Observer serves
+	// one simulation at a time and its run labels must land in order.
+	SweepWorkers int
 	// Obs, when non-nil, captures both runs' metric series and the
 	// fault/fallback/recovery event trace.
 	Obs *obs.Observer
@@ -110,11 +116,15 @@ func Availability(cfg AvailabilityConfig) (*AvailabilityResult, error) {
 		return nil, fmt.Errorf("experiments: fault plan over %d nodes, experiment over %d", cfg.Plan.N(), cfg.N)
 	}
 
-	res := &AvailabilityResult{}
-
-	// Semi-oblivious: initial schedule provisioned at the offered
-	// locality, resilient controller re-planning every epoch.
-	sorn, err := core.NewSORN(cfg.N, cfg.Nc, cfg.X)
+	// Semi-oblivious design: initial schedule provisioned at the offered
+	// locality, resilient controller re-planning every epoch. The static
+	// uniform oblivious baseline is the schedule the fallback uses, with
+	// no control loop at all. The two design runs are independent (same
+	// workload seed, same fault plan, different fabrics), so they sweep as
+	// two points over cached builds. A cached build stays read-only here:
+	// mid-run Reconfigure swaps the *simulator's* schedule, never the
+	// shared Network's.
+	sorn, err := core.SharedBuilds.SORN(cfg.N, cfg.Nc, cfg.X)
 	if err != nil {
 		return nil, err
 	}
@@ -122,15 +132,44 @@ func Availability(cfg AvailabilityConfig) (*AvailabilityResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctl, err := controlplane.NewController(cfg.N, cfg.Nc, 0.5)
+	obl, err := core.SharedBuilds.SORNWithQ(cfg.N, cfg.Nc, 2)
 	if err != nil {
 		return nil, err
 	}
-	ctl.Obs = cfg.Obs
-	resil := controlplane.NewResilient(ctl)
-	res.SORN, res.SORNStats, err = runAvailability(cfg, sorn, tm, "SORN+fallback", resil)
+
+	type designRun struct {
+		windows []AvailabilityWindow
+		stats   netsim.Stats
+	}
+	sw := sweep.Config{Concurrency: cfg.SweepWorkers, Seed: cfg.Seed}
+	if cfg.Obs != nil {
+		// One Observer serves one simulation at a time, and its run labels
+		// must appear in design order: a shared capture forces the sweep
+		// serial regardless of the requested concurrency.
+		sw.Concurrency = 1
+	}
+	runs, err := sweep.Run(sw, 2, func(p sweep.Point) (designRun, error) {
+		simWorkers := sw.SimWorkers(2, cfg.Workers)
+		if p.Index == 0 {
+			ctl, err := controlplane.NewController(cfg.N, cfg.Nc, 0.5)
+			if err != nil {
+				return designRun{}, err
+			}
+			ctl.Obs = cfg.Obs
+			resil := controlplane.NewResilient(ctl)
+			w, st, err := runAvailability(cfg, simWorkers, sorn, tm, "SORN+fallback", resil)
+			return designRun{windows: w, stats: st}, err
+		}
+		w, st, err := runAvailability(cfg, simWorkers, obl, tm, "oblivious", nil)
+		return designRun{windows: w, stats: st}, err
+	})
 	if err != nil {
 		return nil, err
+	}
+
+	res := &AvailabilityResult{
+		SORN: runs[0].windows, SORNStats: runs[0].stats,
+		Oblivious: runs[1].windows, ObliviousStats: runs[1].stats,
 	}
 	for _, w := range res.SORN {
 		if w.Degraded {
@@ -138,17 +177,6 @@ func Availability(cfg AvailabilityConfig) (*AvailabilityResult, error) {
 		} else if res.FellBack {
 			res.Recovered = true
 		}
-	}
-
-	// Static uniform oblivious baseline: the schedule the fallback uses,
-	// with no control loop at all.
-	obl, err := core.NewSORNWithQ(cfg.N, cfg.Nc, 2)
-	if err != nil {
-		return nil, err
-	}
-	res.Oblivious, res.ObliviousStats, err = runAvailability(cfg, obl, tm, "oblivious", nil)
-	if err != nil {
-		return nil, err
 	}
 	return res, nil
 }
@@ -159,13 +187,13 @@ func Availability(cfg AvailabilityConfig) (*AvailabilityResult, error) {
 // slot's failures affect that slot's transmissions and a control
 // decision at slot t plans against everything observed strictly before
 // t.
-func runAvailability(cfg AvailabilityConfig, nw *core.Network, tm *workload.Matrix,
+func runAvailability(cfg AvailabilityConfig, simWorkers int, nw *core.Network, tm *workload.Matrix,
 	label string, resil *controlplane.Resilient) ([]AvailabilityWindow, netsim.Stats, error) {
 	if cfg.Obs != nil {
 		cfg.Obs.StartRun(label)
 	}
 	sim, err := nw.NewSim(core.SimOptions{
-		Seed: cfg.Seed, Workers: cfg.Workers, LatencySampleEvery: 16, Obs: cfg.Obs,
+		Seed: cfg.Seed, Workers: simWorkers, LatencySampleEvery: 16, Obs: cfg.Obs,
 	})
 	if err != nil {
 		return nil, netsim.Stats{}, err

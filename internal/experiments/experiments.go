@@ -2,12 +2,20 @@
 // parameterized experiment runners. Each function regenerates one table,
 // figure, or ablation; cmd/ binaries render the results and the root
 // bench_test.go wraps them as benchmarks, so both always agree.
+//
+// Every sweep-shaped experiment runs on the internal/sweep engine: points
+// execute on a bounded worker pool (a SweepWorkers knob on struct configs,
+// a trailing sweepWorkers parameter on positional ones; 0 = one worker
+// per CPU, 1 = serial), network builds are shared through
+// core.SharedBuilds, and simulator allocations are reused per worker via
+// core.SimPool + netsim.Reset. Results are bit-identical for every
+// concurrency setting — see the sweep package comment and
+// TestSweepDeterminismAcrossConcurrency.
 package experiments
 
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"repro/internal/controlplane"
 	"repro/internal/core"
@@ -16,9 +24,9 @@ import (
 	"repro/internal/model"
 	"repro/internal/netsim"
 	"repro/internal/obs"
-	"repro/internal/rng"
 	"repro/internal/routing"
 	"repro/internal/schedule"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -46,8 +54,18 @@ type Fig2fConfig struct {
 	Seed         uint64
 	// Workers is the per-simulation shard count (core.SimOptions.Workers):
 	// 0 = one per available CPU, 1 = serial. Results are bit-identical
-	// for every value.
+	// for every value. When the sweep itself runs multiple points at once,
+	// 0 resolves to serial sims (see sweep.Config.SimWorkers) so the two
+	// levels of parallelism don't oversubscribe the CPUs.
 	Workers int
+	// SweepWorkers bounds how many points run concurrently
+	// (sweep.Config.Concurrency: 0 = one worker per CPU, 1 = serial).
+	// Results are bit-identical for every value.
+	SweepWorkers int
+	// NoSimReuse disables the per-worker simulator pool, allocating a
+	// fresh Sim per point — an A/B knob for benchmarking the Reset reuse
+	// path; results are bit-identical either way.
+	NoSimReuse bool
 	// ObsEvery, when positive, attaches an Observer to every simulated
 	// point, snapshotting the metric series every ObsEvery slots; each
 	// point's capture is returned in Fig2fPoint.Obs.
@@ -64,47 +82,45 @@ func DefaultFig2fConfig() Fig2fConfig {
 	}
 }
 
-// Fig2f runs the throughput-vs-locality sweep. Points are independent,
-// so they run concurrently (one goroutine per x, bounded by GOMAXPROCS
-// via the runtime scheduler); results are returned in x order. Each
-// worker gets its own RNG stream, split off the sweep seed serially
-// before any goroutine starts, so parallel and serial executions are
-// bit-for-bit identical regardless of scheduling.
-func Fig2f(cfg Fig2fConfig) ([]Fig2fPoint, error) {
+// fig2fGrid generates the locality grid x_i = i·Step by index. Computing
+// each point from the index (instead of accumulating x += Step) keeps the
+// grid exact: repeated addition drifts by an ulp per step, so an
+// accumulated 0.1-grid lands on 0.7999999999999999 and ends at
+// 0.9999999999999999 instead of 0.8 and 1. The grid covers [0, 1] and
+// always ends at exactly 1.
+func fig2fGrid(step float64) []float64 {
 	var xs []float64
-	for x := 0.0; x <= 1.0000001; x += cfg.Step {
-		if x > 1 {
-			x = 1
+	for i := 0; ; i++ {
+		x := float64(i) * step
+		if x >= 1 {
+			xs = append(xs, 1)
+			return xs
 		}
 		xs = append(xs, x)
 	}
-	size := workload.NewCapped(workload.WebSearch(), cfg.SizeCap)
-	root := rng.New(cfg.Seed)
-	streams := make([]*rng.RNG, len(xs))
-	for i := range streams {
-		streams[i] = root.Split()
-	}
-	out := make([]Fig2fPoint, len(xs))
-	errs := make([]error, len(xs))
-	var wg sync.WaitGroup
-	for i, x := range xs {
-		wg.Add(1)
-		go func(i int, x float64, stream *rng.RNG) {
-			defer wg.Done()
-			out[i], errs[i] = fig2fPoint(cfg, x, size, stream)
-		}(i, x, streams[i])
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
 }
 
-func fig2fPoint(cfg Fig2fConfig, x float64, size workload.SizeDist, stream *rng.RNG) (Fig2fPoint, error) {
-	nw, err := core.NewSORN(cfg.N, cfg.Nc, x)
+// Fig2f runs the throughput-vs-locality sweep on the sweep engine: points
+// run on a bounded worker pool (cfg.SweepWorkers), each on its own RNG
+// stream split off the sweep seed serially before any worker starts, with
+// results returned in x order — so every concurrency setting is
+// bit-for-bit identical. SORN builds come from core.SharedBuilds and each
+// worker reuses one pooled simulator across its points.
+func Fig2f(cfg Fig2fConfig) ([]Fig2fPoint, error) {
+	if !(cfg.Step > 0) {
+		return nil, fmt.Errorf("experiments: Fig2f step %v must be positive", cfg.Step)
+	}
+	xs := fig2fGrid(cfg.Step)
+	size := workload.NewCapped(workload.WebSearch(), cfg.SizeCap)
+	sw := sweep.Config{Concurrency: cfg.SweepWorkers, Seed: cfg.Seed}
+	pool := core.NewSimPool(sw.Workers(len(xs)))
+	return sweep.Run(sw, len(xs), func(p sweep.Point) (Fig2fPoint, error) {
+		return fig2fPoint(cfg, sw, len(xs), xs[p.Index], size, p, pool)
+	})
+}
+
+func fig2fPoint(cfg Fig2fConfig, sw sweep.Config, points int, x float64, size workload.SizeDist, p sweep.Point, pool *core.SimPool) (Fig2fPoint, error) {
+	nw, err := core.SharedBuilds.SORN(cfg.N, cfg.Nc, x)
 	if err != nil {
 		return Fig2fPoint{}, err
 	}
@@ -122,14 +138,24 @@ func fig2fPoint(cfg Fig2fConfig, x float64, size workload.SizeDist, stream *rng.
 			pt.Obs = obs.New(obs.Options{MetricsEvery: cfg.ObsEvery, TraceFlows: true})
 			pt.Obs.StartRun(fmt.Sprintf("x=%.2f", x))
 		}
-		st, err := nw.SimulateSaturated(core.SimOptions{
-			Seed:          stream.Uint64(),
+		opts := core.SimOptions{
+			Seed:          p.RNG.Uint64(),
 			WarmupSlots:   cfg.WarmupSlots,
 			MeasureSlots:  cfg.MeasureSlots,
 			TargetBacklog: cfg.Backlog,
-			Workers:       cfg.Workers,
+			Workers:       sw.SimWorkers(points, cfg.Workers),
 			Obs:           pt.Obs,
-		}, tm, size)
+		}
+		var st *netsim.Stats
+		if cfg.NoSimReuse {
+			st, err = nw.SimulateSaturated(opts, tm, size)
+		} else {
+			sim, perr := pool.Acquire(p.Worker, nw, opts)
+			if perr != nil {
+				return Fig2fPoint{}, perr
+			}
+			st, err = core.RunSaturatedOn(sim, opts, tm, size)
+		}
 		if err != nil {
 			return Fig2fPoint{}, err
 		}
@@ -150,13 +176,16 @@ type MismatchPoint struct {
 // LocalityMismatch quantifies §6's "healthy estimation error margin":
 // how much worst-case throughput degrades when the estimated locality is
 // wrong. The schedule is built for xPlanned; traffic has xActual.
-func LocalityMismatch(n, nc int, planned, actual []float64) ([]MismatchPoint, error) {
-	var out []MismatchPoint
-	for _, xp := range planned {
-		nw, err := core.NewSORN(n, nc, xp)
+// The sweep runs one point per planned locality (each shares one cached
+// build across its actual-locality row), flattened in planned-major order.
+func LocalityMismatch(n, nc int, planned, actual []float64, sweepWorkers int) ([]MismatchPoint, error) {
+	rows, err := sweep.Run(sweep.Config{Concurrency: sweepWorkers}, len(planned), func(p sweep.Point) ([]MismatchPoint, error) {
+		xp := planned[p.Index]
+		nw, err := core.SharedBuilds.SORN(n, nc, xp)
 		if err != nil {
 			return nil, err
 		}
+		row := make([]MismatchPoint, 0, len(actual))
 		for _, xa := range actual {
 			tm, err := nw.LocalityMatrix(xa)
 			if err != nil {
@@ -166,13 +195,21 @@ func LocalityMismatch(n, nc int, planned, actual []float64) ([]MismatchPoint, er
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, MismatchPoint{
+			row = append(row, MismatchPoint{
 				XPlanned: xp,
 				XActual:  xa,
 				Model:    model.SORNThroughputAtQ(xa, nw.SORN.RealizedQ),
 				Fluid:    fl.Theta,
 			})
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []MismatchPoint
+	for _, row := range rows {
+		out = append(out, row...)
 	}
 	return out, nil
 }
@@ -186,28 +223,26 @@ type QSweepPoint struct {
 
 // QSweep shows why q* = 2/(1−x) is the throughput knee: worst-case
 // throughput as a function of q at fixed locality.
-func QSweep(n, nc int, x float64, qs []float64) ([]QSweepPoint, error) {
-	var out []QSweepPoint
-	for _, q := range qs {
-		nw, err := core.NewSORNWithQ(n, nc, q)
+func QSweep(n, nc int, x float64, qs []float64, sweepWorkers int) ([]QSweepPoint, error) {
+	return sweep.Run(sweep.Config{Concurrency: sweepWorkers}, len(qs), func(p sweep.Point) (QSweepPoint, error) {
+		nw, err := core.SharedBuilds.SORNWithQ(n, nc, qs[p.Index])
 		if err != nil {
-			return nil, err
+			return QSweepPoint{}, err
 		}
 		tm, err := nw.LocalityMatrix(x)
 		if err != nil {
-			return nil, err
+			return QSweepPoint{}, err
 		}
 		fl, err := nw.Throughput(tm)
 		if err != nil {
-			return nil, err
+			return QSweepPoint{}, err
 		}
-		out = append(out, QSweepPoint{
+		return QSweepPoint{
 			Q:     nw.SORN.RealizedQ,
 			Model: model.SORNThroughputAtQ(x, nw.SORN.RealizedQ),
 			Fluid: fl.Theta,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // NcSweepRow generalizes Table 1 across clique counts (ablation A3).
@@ -224,16 +259,19 @@ type NcSweepRow struct {
 // the Table 1 deployment, and cross-checks the built schedule's actual
 // worst-case intra-circuit wait against the formula at a reduced scale
 // (scale n = p.N is too large to build; we build at buildN).
-func NcSweep(p model.Params, x float64, ncs []int, buildN int) ([]NcSweepRow, error) {
-	var out []NcSweepRow
+func NcSweep(p model.Params, x float64, ncs []int, buildN int, sweepWorkers int) ([]NcSweepRow, error) {
 	q := model.SORNQ(x)
+	eligible := make([]int, 0, len(ncs))
 	for _, nc := range ncs {
-		if p.N%nc != 0 || buildN%nc != 0 {
-			continue
+		if p.N%nc == 0 && buildN%nc == 0 {
+			eligible = append(eligible, nc)
 		}
+	}
+	return sweep.Run(sweep.Config{Concurrency: sweepWorkers}, len(eligible), func(pt sweep.Point) (NcSweepRow, error) {
+		nc := eligible[pt.Index]
 		rows, err := model.SORN(p, model.SORNParams{Nc: nc, X: x, TableVariant: true})
 		if err != nil {
-			return nil, err
+			return NcSweepRow{}, err
 		}
 		row := NcSweepRow{
 			Nc:         nc,
@@ -243,9 +281,11 @@ func NcSweep(p model.Params, x float64, ncs []int, buildN int) ([]NcSweepRow, er
 			InterLatNS: rows[1].MinLatencyNS,
 		}
 		if buildN/nc >= 2 {
+			// Built directly, not through SharedBuilds: the MaxWeight cap is
+			// not part of the cache key.
 			built, err := schedule.BuildSORN(schedule.SORNConfig{N: buildN, Nc: nc, Q: q, MaxWeight: 64})
 			if err != nil {
-				return nil, err
+				return NcSweepRow{}, err
 			}
 			c := matching.Compile(built.Schedule)
 			worst := 0
@@ -260,9 +300,8 @@ func NcSweep(p model.Params, x float64, ncs []int, buildN int) ([]NcSweepRow, er
 			row.MeasuredIntraWait = worst
 			row.TheoreticIntraWait = int(model.IntraCliqueDeltaM(buildN, nc, built.RealizedQ) + 0.999)
 		}
-		out = append(out, row)
-	}
-	return out, nil
+		return row, nil
+	})
 }
 
 // BlastRow compares failure blast radius (ablation A4, paper §6). Link
@@ -278,44 +317,47 @@ type BlastRow struct {
 	InterLink float64 // fraction affected by one inter-clique link failure
 }
 
-// BlastRadius compares SORN against the flat 1D ORN.
-func BlastRadius(n, nc int, q float64) ([]BlastRow, error) {
-	built, err := schedule.BuildSORN(schedule.SORNConfig{N: n, Nc: nc, Q: q})
-	if err != nil {
-		return nil, err
-	}
-	sornRouter := routing.NewSORN(built)
-	sornNode, err := fluid.NodeBlastRadius(n, sornRouter, 1)
-	if err != nil {
-		return nil, err
-	}
-	sornIntra, err := fluid.LinkBlastRadius(n, sornRouter, 0, 1)
-	if err != nil {
-		return nil, err
-	}
-	// Node 0's inter-clique circuit into the next clique lands on the
-	// same-local-index peer, node n/nc.
-	sornInter, err := fluid.LinkBlastRadius(n, sornRouter, 0, n/nc)
-	if err != nil {
-		return nil, err
-	}
-
-	vlb, err := routing.NewVLB(matching.Compile(matching.RoundRobin(n)))
-	if err != nil {
-		return nil, err
-	}
-	vlbNode, err := fluid.NodeBlastRadius(n, vlb, 1)
-	if err != nil {
-		return nil, err
-	}
-	vlbLink, err := fluid.LinkBlastRadius(n, vlb, 0, 1)
-	if err != nil {
-		return nil, err
-	}
-	return []BlastRow{
-		{Design: fmt.Sprintf("SORN Nc=%d", nc), NodeBlast: sornNode, IntraLink: sornIntra, InterLink: sornInter},
-		{Design: "1D ORN (flat VLB)", NodeBlast: vlbNode, IntraLink: vlbLink, InterLink: vlbLink},
-	}, nil
+// BlastRadius compares SORN against the flat 1D ORN. One sweep point per
+// design row.
+func BlastRadius(n, nc int, q float64, sweepWorkers int) ([]BlastRow, error) {
+	return sweep.Run(sweep.Config{Concurrency: sweepWorkers}, 2, func(p sweep.Point) (BlastRow, error) {
+		if p.Index == 0 {
+			nw, err := core.SharedBuilds.SORNWithQ(n, nc, q)
+			if err != nil {
+				return BlastRow{}, err
+			}
+			sornNode, err := fluid.NodeBlastRadius(n, nw.Router, 1)
+			if err != nil {
+				return BlastRow{}, err
+			}
+			sornIntra, err := fluid.LinkBlastRadius(n, nw.Router, 0, 1)
+			if err != nil {
+				return BlastRow{}, err
+			}
+			// Node 0's inter-clique circuit into the next clique lands on the
+			// same-local-index peer, node n/nc.
+			sornInter, err := fluid.LinkBlastRadius(n, nw.Router, 0, n/nc)
+			if err != nil {
+				return BlastRow{}, err
+			}
+			return BlastRow{Design: fmt.Sprintf("SORN Nc=%d", nc),
+				NodeBlast: sornNode, IntraLink: sornIntra, InterLink: sornInter}, nil
+		}
+		vlb, err := routing.NewVLB(matching.Compile(matching.RoundRobin(n)))
+		if err != nil {
+			return BlastRow{}, err
+		}
+		vlbNode, err := fluid.NodeBlastRadius(n, vlb, 1)
+		if err != nil {
+			return BlastRow{}, err
+		}
+		vlbLink, err := fluid.LinkBlastRadius(n, vlb, 0, 1)
+		if err != nil {
+			return BlastRow{}, err
+		}
+		return BlastRow{Design: "1D ORN (flat VLB)",
+			NodeBlast: vlbNode, IntraLink: vlbLink, InterLink: vlbLink}, nil
+	})
 }
 
 // AdaptationPhase is one epoch of the reconfiguration experiment (A5).
@@ -433,24 +475,22 @@ type GravityPoint struct {
 // Gravity evaluates SORN robustness to non-uniform aggregated demand:
 // worst-case throughput of the clique schedule under a gravity traffic
 // matrix (cluster masses as given), across oversubscription ratios.
-func Gravity(n, nc int, mass []float64, qs []float64) ([]GravityPoint, error) {
-	var out []GravityPoint
-	for _, q := range qs {
-		nw, err := core.NewSORNWithQ(n, nc, q)
+func Gravity(n, nc int, mass []float64, qs []float64, sweepWorkers int) ([]GravityPoint, error) {
+	return sweep.Run(sweep.Config{Concurrency: sweepWorkers}, len(qs), func(p sweep.Point) (GravityPoint, error) {
+		nw, err := core.SharedBuilds.SORNWithQ(n, nc, qs[p.Index])
 		if err != nil {
-			return nil, err
+			return GravityPoint{}, err
 		}
 		tm, err := workload.Gravity(nw.SORN.Cliques, mass)
 		if err != nil {
-			return nil, err
+			return GravityPoint{}, err
 		}
 		fl, err := nw.Throughput(tm)
 		if err != nil {
-			return nil, err
+			return GravityPoint{}, err
 		}
-		out = append(out, GravityPoint{Q: nw.SORN.RealizedQ, Theta: fl.Theta})
-	}
-	return out, nil
+		return GravityPoint{Q: nw.SORN.RealizedQ, Theta: fl.Theta}, nil
+	})
 }
 
 // ExpressivityRow compares the uniform inter-clique schedule against the
@@ -512,28 +552,11 @@ type LatencyRow struct {
 // separately), the flat 1D ORN, and the 2D optimal ORN, all at the same
 // node count, slot length, propagation delay, and uplink (plane) count.
 // n must be a perfect square (for the 2D ORN) and divisible by nc.
-func LatencyComparison(n, nc, planes int, load float64, seed uint64) ([]LatencyRow, error) {
+// The four design/class runs are independent fixed-seed simulations, so
+// they sweep as four points sharing cached builds and pooled simulators.
+func LatencyComparison(n, nc, planes int, load float64, seed uint64, sweepWorkers int) ([]LatencyRow, error) {
 	const slotNS, propNS = 100, 500
-	runOne := func(nw *core.Network, tm *workload.Matrix, design, class string) (LatencyRow, error) {
-		st, err := nw.SimulateOpenLoop(core.SimOptions{
-			SlotNS: slotNS, PropNS: propNS, Seed: seed,
-			LatencySampleEvery: 1, Planes: planes,
-		}, tm, workload.FixedSize(1), load, 30000)
-		if err != nil {
-			return LatencyRow{}, err
-		}
-		toUS := float64(slotNS) / 1000
-		return LatencyRow{
-			Design:   design,
-			Class:    class,
-			P50us:    st.LatencySlots.Percentile(50) * toUS,
-			P99us:    st.LatencySlots.Percentile(99) * toUS,
-			MeanHops: st.MeanHops(),
-		}, nil
-	}
-
-	var rows []LatencyRow
-	sorn, err := core.NewSORN(n, nc, 0.56)
+	sorn, err := core.SharedBuilds.SORN(n, nc, 0.56)
 	if err != nil {
 		return nil, err
 	}
@@ -541,41 +564,54 @@ func LatencyComparison(n, nc, planes int, load float64, seed uint64) ([]LatencyR
 	if err != nil {
 		return nil, err
 	}
-	r, err := runOne(sorn, intraTM, "SORN", "intra-clique")
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, r)
 	interTM, err := workload.Locality(sorn.SORN.Cliques, 0)
 	if err != nil {
 		return nil, err
 	}
-	r, err = runOne(sorn, interTM, "SORN", "inter-clique")
+	orn1, err := core.SharedBuilds.ORN1D(n)
 	if err != nil {
 		return nil, err
 	}
-	rows = append(rows, r)
-
-	orn1, err := core.NewORN1D(n)
+	orn2, err := core.SharedBuilds.ORN(n, 2)
 	if err != nil {
 		return nil, err
 	}
-	r, err = runOne(orn1, workload.Uniform(n), "1D ORN (Sirius)", "all")
-	if err != nil {
-		return nil, err
+	runs := []struct {
+		nw            *core.Network
+		tm            *workload.Matrix
+		design, class string
+	}{
+		{sorn, intraTM, "SORN", "intra-clique"},
+		{sorn, interTM, "SORN", "inter-clique"},
+		{orn1, workload.Uniform(n), "1D ORN (Sirius)", "all"},
+		{orn2, workload.Uniform(n), "2D ORN", "all"},
 	}
-	rows = append(rows, r)
-
-	orn2, err := core.NewORN(n, 2)
-	if err != nil {
-		return nil, err
-	}
-	r, err = runOne(orn2, workload.Uniform(n), "2D ORN", "all")
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, r)
-	return rows, nil
+	sw := sweep.Config{Concurrency: sweepWorkers, Seed: seed}
+	pool := core.NewSimPool(sw.Workers(len(runs)))
+	return sweep.Run(sw, len(runs), func(p sweep.Point) (LatencyRow, error) {
+		r := runs[p.Index]
+		opts := core.SimOptions{
+			SlotNS: slotNS, PropNS: propNS, Seed: seed,
+			LatencySampleEvery: 1, Planes: planes,
+			Workers: sw.SimWorkers(len(runs), 0),
+		}
+		sim, err := pool.Acquire(p.Worker, r.nw, opts)
+		if err != nil {
+			return LatencyRow{}, err
+		}
+		st, err := core.RunOpenLoopOn(sim, opts, r.tm, workload.FixedSize(1), load, 30000)
+		if err != nil {
+			return LatencyRow{}, err
+		}
+		toUS := float64(slotNS) / 1000
+		return LatencyRow{
+			Design:   r.design,
+			Class:    r.class,
+			P50us:    st.LatencySlots.Percentile(50) * toUS,
+			P99us:    st.LatencySlots.Percentile(99) * toUS,
+			MeanHops: st.MeanHops(),
+		}, nil
+	})
 }
 
 // PlanePoint is one uplink count of the plane sweep (U1).
@@ -595,13 +631,17 @@ type PlaneSweepConfig struct {
 	// Workers is the per-simulation shard count (0 = one per CPU,
 	// 1 = serial); bit-identical results for every value.
 	Workers int
+	// SweepWorkers bounds how many plane counts simulate concurrently
+	// (0 = one per CPU, 1 = serial); bit-identical results for every value.
+	SweepWorkers int
 }
 
 // PlaneSweep measures how parallel phase-staggered uplinks divide the
 // schedule-wait component of latency — the /uplinks term Table 1's
-// minimum-latency column depends on.
+// minimum-latency column depends on. One sweep point per plane count; the
+// pooled simulator resizes its delay ring across Reset.
 func PlaneSweep(cfg PlaneSweepConfig) ([]PlanePoint, error) {
-	nw, err := core.NewSORN(cfg.N, cfg.Nc, cfg.X)
+	nw, err := core.SharedBuilds.SORN(cfg.N, cfg.Nc, cfg.X)
 	if err != nil {
 		return nil, err
 	}
@@ -609,22 +649,28 @@ func PlaneSweep(cfg PlaneSweepConfig) ([]PlanePoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []PlanePoint
-	for _, p := range cfg.Planes {
-		st, err := nw.SimulateOpenLoop(core.SimOptions{
+	sw := sweep.Config{Concurrency: cfg.SweepWorkers, Seed: cfg.Seed}
+	pool := core.NewSimPool(sw.Workers(len(cfg.Planes)))
+	return sweep.Run(sw, len(cfg.Planes), func(p sweep.Point) (PlanePoint, error) {
+		opts := core.SimOptions{
 			SlotNS: 100, PropNS: 500, Seed: cfg.Seed,
-			LatencySampleEvery: 1, Planes: p, Workers: cfg.Workers,
-		}, tm, workload.FixedSize(1), cfg.Load, 25000)
-		if err != nil {
-			return nil, err
+			LatencySampleEvery: 1, Planes: cfg.Planes[p.Index],
+			Workers: sw.SimWorkers(len(cfg.Planes), cfg.Workers),
 		}
-		out = append(out, PlanePoint{
-			Planes: p,
+		sim, err := pool.Acquire(p.Worker, nw, opts)
+		if err != nil {
+			return PlanePoint{}, err
+		}
+		st, err := core.RunOpenLoopOn(sim, opts, tm, workload.FixedSize(1), cfg.Load, 25000)
+		if err != nil {
+			return PlanePoint{}, err
+		}
+		return PlanePoint{
+			Planes: cfg.Planes[p.Index],
 			P50us:  st.LatencySlots.Percentile(50) * 0.1,
 			P99us:  st.LatencySlots.Percentile(99) * 0.1,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // SyncRow is one slot size of the synchronization-overhead model (S1).
@@ -714,6 +760,11 @@ type DiurnalConfig struct {
 	Lo, Hi float64 // locality oscillation bounds
 	Period int     // epochs per sinusoid cycle
 	Epochs int     // total epochs to run
+	// SweepWorkers bounds how many epochs' fluid evaluations run
+	// concurrently (0 = one per CPU, 1 = serial); the stateful controller
+	// pass always runs serially, so results are bit-identical for every
+	// value.
+	SweepWorkers int
 	// Obs, when non-nil, records each control-plane replan decision
 	// (estimated x, chosen q*, predicted r) as trace events.
 	Obs *obs.Observer
@@ -736,12 +787,20 @@ func Diurnal(cfg DiurnalConfig) ([]DiurnalPoint, error) {
 		return nil, err
 	}
 	mean := (cfg.Lo + cfg.Hi) / 2
-	static, err := core.NewSORN(n, nc, mean)
+	static, err := core.SharedBuilds.SORN(n, nc, mean)
 	if err != nil {
 		return nil, err
 	}
 
-	var out []DiurnalPoint
+	// Pass 1 — serial: the controller is stateful (EWMA estimate, replan
+	// hysteresis, trace events), so every epoch observes and plans in
+	// order, exactly as the control plane would live.
+	type epochPlan struct {
+		x, estX float64
+		tm      *workload.Matrix
+		built   *schedule.SORN
+	}
+	plans := make([]epochPlan, cfg.Epochs)
 	for e := 0; e < cfg.Epochs; e++ {
 		x := mean + (cfg.Hi-cfg.Lo)/2*math.Sin(2*math.Pi*float64(e)/float64(cfg.Period))
 		tm, err := workload.Locality(cl, x)
@@ -758,32 +817,39 @@ func Diurnal(cfg DiurnalConfig) ([]DiurnalPoint, error) {
 		if err := ctl.Apply(plan); err != nil {
 			return nil, err
 		}
-		adaptive, err := fluid.Solve(plan.Built.Schedule, routing.NewSORN(plan.Built), tm)
+		plans[e] = epochPlan{x: x, estX: plan.X, tm: tm, built: plan.Built}
+	}
+
+	// Pass 2 — swept: the three fluid evaluations per epoch are pure
+	// functions of the recorded plan, independent across epochs. The
+	// clairvoyant builds hit the cache every repeated Period.
+	return sweep.Run(sweep.Config{Concurrency: cfg.SweepWorkers}, cfg.Epochs, func(p sweep.Point) (DiurnalPoint, error) {
+		ep := plans[p.Index]
+		adaptive, err := fluid.Solve(ep.built.Schedule, routing.NewSORN(ep.built), ep.tm)
 		if err != nil {
-			return nil, err
+			return DiurnalPoint{}, err
 		}
-		staticRes, err := fluid.Solve(static.Schedule, static.Router, tm)
+		staticRes, err := fluid.Solve(static.Schedule, static.Router, ep.tm)
 		if err != nil {
-			return nil, err
+			return DiurnalPoint{}, err
 		}
-		clair, err := core.NewSORN(n, nc, x)
+		clair, err := core.SharedBuilds.SORN(n, nc, ep.x)
 		if err != nil {
-			return nil, err
+			return DiurnalPoint{}, err
 		}
-		clairRes, err := clair.Throughput(tm)
+		clairRes, err := clair.Throughput(ep.tm)
 		if err != nil {
-			return nil, err
+			return DiurnalPoint{}, err
 		}
-		out = append(out, DiurnalPoint{
-			Epoch:     e,
-			TrueX:     x,
-			EstimateX: plan.X,
+		return DiurnalPoint{
+			Epoch:     p.Index,
+			TrueX:     ep.x,
+			EstimateX: ep.estX,
 			AdaptiveR: adaptive.Theta,
 			StaticR:   staticRes.Theta,
 			ClairvoyR: clairRes.Theta,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // DiurnalSummary averages a diurnal run into three mean throughputs.
@@ -816,6 +882,11 @@ type FCTConfig struct {
 	// Workers shards each simulation step (0 = one per CPU, 1 = serial);
 	// results are bit-identical for every value.
 	Workers int
+	// SweepWorkers bounds how many (design, load) cells simulate
+	// concurrently (0 = one per CPU, 1 = serial); bit-identical results
+	// for every value. Forced serial when Obs is set — one Observer serves
+	// one simulation at a time and its run labels must land in order.
+	SweepWorkers int
 	// Obs, when non-nil, captures every run's metric series, labeled
 	// "design@load" so one capture carries the whole sweep.
 	Obs *obs.Observer
@@ -829,7 +900,7 @@ type FCTConfig struct {
 // loads, queueing dominates medians for both designs and the comparison
 // belongs to the throughput experiments instead.
 func FCTvsLoad(cfg FCTConfig) ([]FCTPoint, error) {
-	sorn, err := core.NewSORN(cfg.N, cfg.Nc, cfg.X)
+	sorn, err := core.SharedBuilds.SORN(cfg.N, cfg.Nc, cfg.X)
 	if err != nil {
 		return nil, err
 	}
@@ -837,41 +908,57 @@ func FCTvsLoad(cfg FCTConfig) ([]FCTPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	flat, err := core.NewORN1D(cfg.N)
+	flat, err := core.SharedBuilds.ORN1D(cfg.N)
 	if err != nil {
 		return nil, err
 	}
 	flatTM := workload.Uniform(cfg.N)
-
 	size := workload.FixedSize(16)
-	var out []FCTPoint
-	run := func(nw *core.Network, tm *workload.Matrix, design string, load float64) error {
+
+	type cell struct {
+		nw     *core.Network
+		tm     *workload.Matrix
+		design string
+		load   float64
+	}
+	cells := make([]cell, 0, 2*len(cfg.Loads))
+	for _, load := range cfg.Loads {
+		cells = append(cells,
+			cell{sorn, sornTM, "SORN", load},
+			cell{flat, flatTM, "1D ORN", load})
+	}
+
+	sw := sweep.Config{Concurrency: cfg.SweepWorkers, Seed: cfg.Seed}
+	if cfg.Obs != nil {
+		// One Observer serves one simulation at a time, and its run labels
+		// must appear in point order: a shared capture forces the sweep
+		// serial regardless of the requested concurrency.
+		sw.Concurrency = 1
+	}
+	pool := core.NewSimPool(sw.Workers(len(cells)))
+	return sweep.Run(sw, len(cells), func(p sweep.Point) (FCTPoint, error) {
+		c := cells[p.Index]
 		if cfg.Obs != nil {
-			cfg.Obs.StartRun(fmt.Sprintf("%s@%.2f", design, load))
+			cfg.Obs.StartRun(fmt.Sprintf("%s@%.2f", c.design, c.load))
 		}
-		st, err := nw.SimulateOpenLoop(core.SimOptions{
+		opts := core.SimOptions{
 			SlotNS: 100, PropNS: 500, Seed: cfg.Seed, LatencySampleEvery: 16,
-			Workers: cfg.Workers, Obs: cfg.Obs,
-		}, tm, size, load, cfg.Slots)
-		if err != nil {
-			return err
+			Workers: sw.SimWorkers(len(cells), cfg.Workers), Obs: cfg.Obs,
 		}
-		out = append(out, FCTPoint{
-			Design: design,
-			Load:   load,
+		sim, err := pool.Acquire(p.Worker, c.nw, opts)
+		if err != nil {
+			return FCTPoint{}, err
+		}
+		st, err := core.RunOpenLoopOn(sim, opts, c.tm, size, c.load, cfg.Slots)
+		if err != nil {
+			return FCTPoint{}, err
+		}
+		return FCTPoint{
+			Design: c.design,
+			Load:   c.load,
 			P50us:  st.FCTSlots.Percentile(50) * 0.1,
 			P99us:  st.FCTSlots.Percentile(99) * 0.1,
 			Done:   st.CompletedFlows,
-		})
-		return nil
-	}
-	for _, load := range cfg.Loads {
-		if err := run(sorn, sornTM, "SORN", load); err != nil {
-			return nil, err
-		}
-		if err := run(flat, flatTM, "1D ORN", load); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+		}, nil
+	})
 }

@@ -45,24 +45,26 @@ func TestFig2fWithSimSinglePoint(t *testing.T) {
 	}
 	cfg := DefaultFig2fConfig()
 	cfg.N, cfg.Nc = 64, 8
-	cfg.Step = 1.1 // only x=0
+	cfg.Step = 1.1 // the index grid always covers both endpoints: x=0 and x=1
 	cfg.WarmupSlots, cfg.MeasureSlots, cfg.Backlog = 25000, 25000, 2048
 	pts, err := Fig2f(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pts) != 1 {
-		t.Fatalf("%d points", len(pts))
+	if len(pts) != 2 || pts[0].X != 0 || pts[1].X != 1 {
+		t.Fatalf("grid %+v, want endpoints {0, 1}", pts)
 	}
-	if math.Abs(pts[0].Sim-pts[0].Theory)/pts[0].Theory > 0.15 {
-		t.Fatalf("sim %f too far from theory %f", pts[0].Sim, pts[0].Theory)
+	for _, p := range pts {
+		if math.Abs(p.Sim-p.Theory)/p.Theory > 0.15 {
+			t.Fatalf("x=%v sim %f too far from theory %f", p.X, p.Sim, p.Theory)
+		}
 	}
 }
 
 func TestLocalityMismatchMargin(t *testing.T) {
 	// Provisioning for x=0.5 and being wrong by ±0.2 must cost only a
 	// bounded fraction of throughput — the §6 robustness claim.
-	pts, err := LocalityMismatch(64, 8, []float64{0.5}, []float64{0.3, 0.5, 0.7})
+	pts, err := LocalityMismatch(64, 8, []float64{0.5}, []float64{0.3, 0.5, 0.7}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +97,7 @@ func TestLocalityMismatchMargin(t *testing.T) {
 func TestQSweepKneeAtOptimum(t *testing.T) {
 	x := 0.5
 	qStar := model.SORNQ(x) // 4
-	pts, err := QSweep(64, 8, x, []float64{1, 2, qStar, 8, 12})
+	pts, err := QSweep(64, 8, x, []float64{1, 2, qStar, 8, 12}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +114,7 @@ func TestQSweepKneeAtOptimum(t *testing.T) {
 
 func TestNcSweepLatencySplit(t *testing.T) {
 	p := model.Table1Params()
-	rows, err := NcSweep(p, 0.56, []int{8, 16, 32, 64, 128, 256}, 256)
+	rows, err := NcSweep(p, 0.56, []int{8, 16, 32, 64, 128, 256}, 256, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +144,7 @@ func TestNcSweepLatencySplit(t *testing.T) {
 }
 
 func TestBlastRadiusModularity(t *testing.T) {
-	rows, err := BlastRadius(64, 8, 3)
+	rows, err := BlastRadius(64, 8, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +191,7 @@ func TestAdaptationRecovers(t *testing.T) {
 }
 
 func TestGravityRobustness(t *testing.T) {
-	pts, err := Gravity(64, 8, []float64{4, 2, 2, 1, 1, 1, 1, 1}, []float64{1, 2, 3, 4})
+	pts, err := Gravity(64, 8, []float64{4, 2, 2, 1, 1, 1, 1, 1}, []float64{1, 2, 3, 4}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +243,7 @@ func TestLatencyComparisonOrdering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("four packet simulations")
 	}
-	rows, err := LatencyComparison(64, 8, 1, 0.05, 17)
+	rows, err := LatencyComparison(64, 8, 1, 0.05, 17, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -417,33 +417,66 @@ type Sim struct {
 
 // New builds a simulator.
 func New(cfg Config) (*Sim, error) {
+	s := &Sim{}
+	if err := s.init(cfg); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reset rewinds s to exactly the state New(cfg) would produce while
+// reusing every allocation whose size still fits — the grown VOQ
+// buffers, the flow arena, the delay ring, the per-node rng stream
+// slices. A per-worker pool (core.SimPool) resets one warm Sim per
+// sweep point instead of reallocating ~n² queues each time; the
+// fresh-vs-reset bit-identity contract is pinned by
+// TestSimResetBitIdentity. The new schedule must keep the node count;
+// a different N needs a new Sim (every reusable buffer is sized by n).
+func (s *Sim) Reset(cfg Config) error {
+	if s.stepping {
+		panic("netsim: Reset called during Step")
+	}
+	if cfg.Schedule != nil && cfg.Schedule.N != s.n {
+		return fmt.Errorf("netsim: Reset to %d nodes on a %d-node sim; allocate a new Sim", cfg.Schedule.N, s.n)
+	}
+	return s.init(cfg)
+}
+
+// init validates cfg and brings every field of s to its start-of-run
+// state. On a fresh Sim it allocates; on a Reset it reuses what fits.
+// Either way the resulting observable state is identical — reused
+// buffers are rewound (fifo head/tail, flow-arena cursor) or cleared,
+// and buffers whose stale contents are unreachable (fifo cells beyond
+// the queue, ring cells with a false occupancy bit, arena slots past
+// numFlows) are deliberately left dirty.
+func (s *Sim) init(cfg Config) error {
 	if cfg.Schedule == nil || cfg.Router == nil {
-		return nil, fmt.Errorf("netsim: schedule and router are required")
+		return fmt.Errorf("netsim: schedule and router are required")
 	}
 	if err := cfg.Schedule.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if cfg.SlotNS <= 0 {
 		cfg.SlotNS = 100
 	}
 	if cfg.PropNS < 0 {
-		return nil, fmt.Errorf("netsim: negative propagation delay")
+		return fmt.Errorf("netsim: negative propagation delay")
 	}
 	if cfg.Router.MaxHops()+1 > maxWaypoints {
-		return nil, fmt.Errorf("netsim: router %s exceeds %d waypoints", cfg.Router.Name(), maxWaypoints)
+		return fmt.Errorf("netsim: router %s exceeds %d waypoints", cfg.Router.Name(), maxWaypoints)
 	}
 	n := cfg.Schedule.N
 	if n > 1<<15 {
-		return nil, fmt.Errorf("netsim: %d nodes exceed int16 node ids", n)
+		return fmt.Errorf("netsim: %d nodes exceed int16 node ids", n)
 	}
 	if cfg.Planes == 0 {
 		cfg.Planes = 1
 	}
 	if cfg.Planes < 1 {
-		return nil, fmt.Errorf("netsim: plane count %d invalid", cfg.Planes)
+		return fmt.Errorf("netsim: plane count %d invalid", cfg.Planes)
 	}
 	if cfg.Workers < 0 {
-		return nil, fmt.Errorf("netsim: worker count %d invalid", cfg.Workers)
+		return fmt.Errorf("netsim: worker count %d invalid", cfg.Workers)
 	}
 	if cfg.Workers == 0 {
 		// Bit-identical for every worker count (see package comment),
@@ -455,41 +488,111 @@ func New(cfg Config) (*Sim, error) {
 		cfg.Workers = n
 	}
 	prop := (cfg.PropNS + cfg.SlotNS - 1) / cfg.SlotNS
-	s := &Sim{
-		cfg:        cfg,
-		n:          n,
-		sched:      cfg.Schedule,
-		router:     cfg.Router,
-		propSlots:  prop,
-		planes:     cfg.Planes,
-		rng:        rng.New(cfg.Seed),
-		voq:        make([]fifo, n*n),
-		backlog:    make([]int64, n),
-		fresh:      make([]int64, n),
-		freshPair:  make([]int64, n*n),
-		ringSlots:  int(prop) + 1,
-		ringCells:  make([]cell, (int(prop)+1)*n*cfg.Planes),
-		ringOcc:    make([]bool, (int(prop)+1)*n*cfg.Planes),
-		ringCount:  make([]int32, int(prop)+1),
-		matchRows:  make([][]int, cfg.Planes),
-		failedNode: make([]bool, n),
+
+	reuse := s.n == n
+	// hasCircuit depends only on the schedule; a pooled sweep resetting
+	// to the same cached schedule skips the O(n²) recomputation.
+	sameSched := reuse && s.sched == cfg.Schedule && s.hasCircuit != nil
+
+	s.cfg = cfg
+	s.n = n
+	s.sched = cfg.Schedule
+	s.router = cfg.Router
+	s.propSlots = prop
+	s.slot = 0
+	s.planes = cfg.Planes
+	s.rng = rng.New(cfg.Seed)
+
+	if reuse {
+		for i := range s.voq {
+			s.voq[i].head, s.voq[i].tail = 0, 0
+		}
+		clear(s.backlog)
+		clear(s.fresh)
+		clear(s.freshPair)
+		clear(s.failedNode)
+	} else {
+		s.voq = make([]fifo, n*n)
+		s.backlog = make([]int64, n)
+		s.fresh = make([]int64, n)
+		s.freshPair = make([]int64, n*n)
+		s.failedNode = make([]bool, n)
+		s.latRngs = make([]rng.RNG, n)
+		s.nodeRngs = make([]rng.RNG, n)
+		s.flows = nil
 	}
 	// The xor constants just decorrelate the stream roots from the
 	// workload seed; splitmix64 inside rng.New takes care of the rest.
 	// Each root is split serially into one stream per node.
-	s.latRngs = rng.New(cfg.Seed ^ 0x6c61745f73616d70).SplitN(n)
-	s.nodeRngs = rng.New(cfg.Seed ^ 0x7265726f75746573).SplitN(n)
+	rng.New(cfg.Seed ^ 0x6c61745f73616d70).SplitNInto(s.latRngs)
+	rng.New(cfg.Seed ^ 0x7265726f75746573).SplitNInto(s.nodeRngs)
+	s.sampleProb = 0
 	if cfg.LatencySampleEvery > 0 {
 		s.sampleProb = 1 / float64(cfg.LatencySampleEvery)
 	}
-	s.hasCircuit = matching.CircuitSet(cfg.Schedule)
-	s.stats.Planes = cfg.Planes
-	s.offsets = planeOffsets(int64(cfg.Schedule.Period()), int64(cfg.Planes))
-	s.shards = make([]shard, cfg.Workers)
-	for i := range s.shards {
-		s.shards[i].lo = i * n / cfg.Workers
-		s.shards[i].hi = (i + 1) * n / cfg.Workers
+
+	rs := int(prop) + 1
+	if reuse && len(s.ringCells) == rs*n*cfg.Planes {
+		s.ringSlots = rs
+		clear(s.ringOcc)
+		clear(s.ringCount)
+	} else {
+		s.ringSlots = rs
+		s.ringCells = make([]cell, rs*n*cfg.Planes)
+		s.ringOcc = make([]bool, rs*n*cfg.Planes)
+		s.ringCount = make([]int32, rs)
 	}
+	if len(s.matchRows) != cfg.Planes {
+		s.matchRows = make([][]int, cfg.Planes)
+	} else {
+		clear(s.matchRows)
+	}
+
+	// Failure state returns to the fresh-Sim default: failedLink back to
+	// nil restores the fault-free transmit fast path a pooled sim would
+	// otherwise lose forever after one faulty run.
+	s.failedLink = nil
+
+	if !sameSched {
+		s.hasCircuit = matching.CircuitSet(cfg.Schedule)
+	}
+	s.stats = Stats{Planes: cfg.Planes}
+	s.measuring = false
+	s.offsets = planeOffsets(int64(cfg.Schedule.Period()), int64(cfg.Planes))
+
+	s.trackPairs = false
+	s.dirtyPairs = s.dirtyPairs[:0]
+	if len(s.dirtyMark) == n*n {
+		clear(s.dirtyMark)
+	} else {
+		s.dirtyMark = nil
+	}
+
+	// Rewind the flow arena: existing blocks are reused (newFlow fills
+	// them before growing) and InjectFlow overwrites every field of a
+	// recycled FlowState.
+	s.numFlows = 0
+	s.nextFlow = 0
+
+	if len(s.shards) != cfg.Workers {
+		s.shards = make([]shard, cfg.Workers)
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.lo = i * n / cfg.Workers
+		sh.hi = (i + 1) * n / cfg.Workers
+		sh.landed = 0
+		sh.losses = sh.losses[:0]
+		sh.dirty = sh.dirty[:0]
+		sh.events = sh.events[:0]
+		// Staged stats are drained at every slot barrier, so between
+		// runs only the sample buffers' capacity remains; zero the
+		// counters the same way mergeFrom does, keeping that capacity.
+		sh.stats = Stats{Planes: sh.stats.Planes,
+			LatencySlots: sh.stats.LatencySlots, FCTSlots: sh.stats.FCTSlots, LatencyByHops: sh.stats.LatencyByHops}
+	}
+
+	s.obs, s.om, s.traceFlows = nil, nil, false
 	if cfg.Obs != nil {
 		s.obs = cfg.Obs
 		s.obs.EnsureShards(cfg.Workers)
@@ -497,7 +600,7 @@ func New(cfg Config) (*Sim, error) {
 		s.om.invNP = 1 / float64(s.n*s.planes)
 		s.traceFlows = cfg.Obs.TraceFlows()
 	}
-	return s, nil
+	return nil
 }
 
 // planeOffsets phase-staggers `planes` copies of a period-P schedule.
@@ -521,6 +624,10 @@ func planeOffsets(period, planes int64) []int64 {
 // Slot returns the current absolute slot.
 func (s *Sim) Slot() int64 { return s.slot }
 
+// N returns the node count the simulator was built for — the one
+// dimension Reset cannot change, so pools key reuse on it.
+func (s *Sim) N() int { return s.n }
+
 // Workers returns the resolved worker count Step shards across.
 func (s *Sim) Workers() int { return len(s.shards) }
 
@@ -534,9 +641,11 @@ func (s *Sim) flow(i int32) *FlowState {
 }
 
 // newFlow appends a FlowState to the arena and returns it with its index.
+// After a Reset the arena cursor rewinds but the blocks stay allocated;
+// growth happens only past the high-water mark of every run so far.
 func (s *Sim) newFlow() (*FlowState, int32) {
 	const mask = 1<<flowBlockBits - 1
-	if s.numFlows&mask == 0 {
+	if s.numFlows&mask == 0 && s.numFlows>>flowBlockBits == len(s.flows) {
 		s.flows = append(s.flows, make([]FlowState, 1<<flowBlockBits))
 	}
 	i := int32(s.numFlows)

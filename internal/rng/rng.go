@@ -46,10 +46,17 @@ func (r *RNG) Split() *RNG {
 // allocation (e.g. one stream per simulated node).
 func (r *RNG) SplitN(n int) []RNG {
 	out := make([]RNG, n)
-	for i := range out {
-		out[i] = *New(r.Uint64() ^ 0xa5a5a5a5deadbeef)
-	}
+	r.SplitNInto(out)
 	return out
+}
+
+// SplitNInto fills dst with len(dst) independent streams derived serially
+// from r — the same derivation as SplitN, but into a caller-owned slice so
+// a pooled simulator can reseed its per-node streams without reallocating.
+func (r *RNG) SplitNInto(dst []RNG) {
+	for i := range dst {
+		dst[i] = *New(r.Uint64() ^ 0xa5a5a5a5deadbeef)
+	}
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -256,6 +256,31 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestSplitNIntoMatchesSplitN(t *testing.T) {
+	// SplitNInto must be derivation-identical to SplitN (and therefore to
+	// n serial Split calls): a pooled simulator reseeding its per-node
+	// streams in place must draw the exact sequences a fresh one would.
+	a, b, c := New(12), New(12), New(12)
+	byValue := a.SplitN(8)
+	inPlace := make([]RNG, 8)
+	b.SplitNInto(inPlace)
+	for i := range byValue {
+		serial := c.Split()
+		for d := 0; d < 16; d++ {
+			want := serial.Uint64()
+			if got := byValue[i].Uint64(); got != want {
+				t.Fatalf("SplitN stream %d draw %d = %d, Split gives %d", i, d, got, want)
+			}
+			if got := inPlace[i].Uint64(); got != want {
+				t.Fatalf("SplitNInto stream %d draw %d = %d, Split gives %d", i, d, got, want)
+			}
+		}
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SplitN and SplitNInto left the parent stream in different states")
+	}
+}
+
 func BenchmarkUint64(b *testing.B) {
 	r := New(1)
 	var sink uint64

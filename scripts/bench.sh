@@ -8,7 +8,11 @@
 #   ./scripts/bench.sh -quick                # CI smoke: tiny run into a temp file
 #
 # Full mode runs BenchmarkFigure2fSimulated (the end-to-end saturated
-# 64-node sweep, -count 3, best kept) plus the netsim micro-benchmarks.
+# 64-node sweep, -count 3, best kept), BenchmarkFig2fSweep (the paper's
+# full default Figure 2(f) sweep through the bounded-parallel sweep
+# engine — the headline sweep wall-clock) and BenchmarkQSweep, plus the
+# netsim micro-benchmarks. Everything runs -count 3 with the lowest
+# ns/op kept, so a single noisy pass can't masquerade as a regression.
 # Quick mode only proves the harness works — benchmarks build, run, and
 # the JSON emitter parses them — without thresholds and without
 # touching the committed ledger.
@@ -52,6 +56,7 @@ workers="${NETSIM_WORKERS:-auto}"
 
 {
   go test -run NONE -bench 'BenchmarkFigure2fSimulated$' -benchtime 1x -count 3 -benchmem .
-  go test -run NONE -bench 'BenchmarkStepSaturated|BenchmarkStepChurn|BenchmarkInjectSaturated' -benchmem ./internal/netsim/
+  go test -run NONE -bench 'BenchmarkFig2fSweep$|BenchmarkQSweep$' -benchtime 1x -count 3 -benchmem .
+  go test -run NONE -bench 'BenchmarkStepSaturated|BenchmarkStepChurn|BenchmarkInjectSaturated' -count 3 -benchmem ./internal/netsim/
 } | tee /dev/stderr | go run ./cmd/benchjson -label "$label" -out "$out" \
     -gomaxprocs "$gomaxprocs" -workers "$workers"

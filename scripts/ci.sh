@@ -18,10 +18,13 @@
 #                               whole-module type-check (one load per
 #                               ci.sh run, not three)
 #   5. go test ./...         -- tier-1 tests
-#   6. race determinism      -- the sharded-step determinism tests
-#                               (Workers=1 vs k bit-identical Stats)
-#                               under the race detector, explicitly,
-#                               so a failure names the engine invariant
+#   6. race determinism      -- the determinism invariants under the
+#                               race detector, explicitly, so a failure
+#                               names the engine invariant: sharded
+#                               stepping (Workers=1 vs k bit-identical
+#                               Stats), Sim.Reset bit-identity vs a
+#                               fresh simulator, and sweep results
+#                               bit-identical across sweep concurrency
 #   7. go test -race ./...   -- the race detector over the full suite;
 #                               goroutine fan-out in internal/experiments
 #                               and internal/netsim must be both
@@ -40,6 +43,14 @@
 #                               committed ledger entries from other
 #                               hosts are not comparable in absolute
 #                               ns/op.)
+#  10. sweep reuse gate      -- BenchmarkFig2fSweepQuick (the CI-sized
+#                               Figure 2(f) sweep) run fresh-per-point
+#                               (-benchsweepfresh) then with the pooled
+#                               Reset reuse path, compared via
+#                               `benchjson compare`; fails if the pool
+#                               is >5% slower than fresh allocation,
+#                               i.e. if Reset reuse ever becomes a
+#                               pessimization
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,8 +81,14 @@ go test ./...
 
 # TestParallelDeterminism* covers both the plain open-loop scenarios and
 # the fault-plan variant (scripted outages + random churn between Steps).
-echo "== go test -race -run 'TestParallelDeterminism|TestObsNonPerturbation' ./internal/netsim/"
-go test -race -run 'TestParallelDeterminism|TestObsNonPerturbation' ./internal/netsim/
+# TestSimResetBitIdentity pins Reset-reused sims to fresh ones, and
+# TestSweepDeterminismAcrossConcurrency pins sweep results across worker
+# counts (including the pooled vs fresh-sim paths).
+echo "== go test -race -run 'TestParallelDeterminism|TestObsNonPerturbation|TestSimResetBitIdentity' ./internal/netsim/"
+go test -race -run 'TestParallelDeterminism|TestObsNonPerturbation|TestSimResetBitIdentity' ./internal/netsim/
+
+echo "== go test -race -run 'TestSweepDeterminismAcrossConcurrency' ./internal/experiments/"
+go test -race -run 'TestSweepDeterminismAcrossConcurrency' ./internal/experiments/
 
 echo "== go test -race ./..."
 go test -race ./...
@@ -98,5 +115,19 @@ done
 "$obsdir/benchjson" -label obs-off -out "$obsdir/ledger.json" <"$obsdir/off.txt"
 "$obsdir/benchjson" -label obs-on -out "$obsdir/ledger.json" <"$obsdir/on.txt"
 "$obsdir/benchjson" compare -out "$obsdir/ledger.json" obs-off obs-on
+
+echo "== sweep reuse gate (Fig2fSweepQuick, fresh vs pooled sims, 5% budget)"
+# Same same-machine A/B shape as the obs gate: prebuilt binary,
+# interleaved passes, best ns/op per label kept by benchjson.
+go test -run NONE -c -o "$obsdir/repro.test" .
+for pass in 1 2 3; do
+  "$obsdir/repro.test" -test.run NONE -test.bench 'BenchmarkFig2fSweepQuick$' \
+    -test.benchtime 2x -test.count 2 -benchsweepfresh >>"$obsdir/fresh.txt"
+  "$obsdir/repro.test" -test.run NONE -test.bench 'BenchmarkFig2fSweepQuick$' \
+    -test.benchtime 2x -test.count 2 >>"$obsdir/pooled.txt"
+done
+"$obsdir/benchjson" -label sweep-fresh -out "$obsdir/sweep.json" <"$obsdir/fresh.txt"
+"$obsdir/benchjson" -label sweep-pooled -out "$obsdir/sweep.json" <"$obsdir/pooled.txt"
+"$obsdir/benchjson" compare -out "$obsdir/sweep.json" sweep-fresh sweep-pooled
 
 echo "== ci.sh: all checks passed"
