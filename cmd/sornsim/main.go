@@ -10,6 +10,8 @@
 //	sornsim -design orn2d -n 64 -mode openloop -load 0.2
 //	sornsim -mode openloop -faultplan 'node7@5000-15000;churn@0-30000,links=0.001,down=300'
 //	sornsim -mode avail -n 64 -nc 8 -slots 40000 -faultplan 'node7@8000-20000' -outage 8000-24000
+//	sornsim -selfcheck -fuzziters 64 -fuzzseconds 120 -seed 3
+//	sornsim -selfcheck -spec 'design=sorn n=24 nc=4 q=0 x=0.56 tm=locality tmparam=0.56 planes=2 workers=4 warmup=800 measure=3200 seed=12648431'
 package main
 
 import (
@@ -20,12 +22,14 @@ import (
 	_ "net/http/pprof" // -pprof serves the default mux
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faultplan"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/oracle"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -60,7 +64,16 @@ func main() {
 	epochSlots := flag.Int64("epoch", 500, "control-loop cadence in slots (avail mode)")
 	outage := flag.String("outage", "", "telemetry outage window 'start-end' in slots (avail mode)")
 	window := flag.Int64("window", 0, "reporting window in slots for avail mode (0 = slots/50)")
+	selfcheck := flag.Bool("selfcheck", false, "run the differential oracle instead of a simulation")
+	spec := flag.String("spec", "", "selfcheck: replay one scenario from its printed spec line")
+	fuzzIters := flag.Int("fuzziters", 64, "selfcheck: random scenarios to fuzz when -spec is empty")
+	fuzzSeconds := flag.Int("fuzzseconds", 0, "selfcheck: wall-clock budget in seconds (0 = iteration count only)")
 	flag.Parse()
+
+	if *selfcheck {
+		runSelfcheck(*spec, *seed, *fuzzIters, *fuzzSeconds)
+		return
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -302,6 +315,52 @@ func printAvailability(res *experiments.AvailabilityResult, n, nc int, x, load f
 		res.SORNStats.DeliveredCells, res.ObliviousStats.DeliveredCells)
 	fmt.Printf("lost cells          sorn=%d oblivious=%d\n",
 		res.SORNStats.LostCells, res.ObliviousStats.LostCells)
+}
+
+// runSelfcheck is the differential-oracle entry point (-selfcheck):
+// with -spec it replays exactly one scenario from its printed spec
+// line; otherwise it fuzzes random scenarios until -fuzziters have run
+// or the -fuzzseconds wall-clock budget elapses, whichever comes
+// first. Exits nonzero on any unsuppressed violation or scenario
+// error, printing a one-line reproducer spec for each.
+func runSelfcheck(specLine string, seed uint64, iters, seconds int) {
+	if specLine != "" {
+		sp, err := oracle.ParseSpec(specLine)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := oracle.Run(sp)
+		if err != nil {
+			fatal(err)
+		}
+		if out := rep.String(); out != "" {
+			fmt.Print(out)
+		}
+		if len(rep.Failed()) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("selfcheck ok: %s\n", sp.String())
+		return
+	}
+	// The deadline lives here, not in internal/oracle: internal
+	// packages stay deterministic (no wall-clock), the CLI owns time.
+	var stop func() bool
+	if seconds > 0 {
+		deadline := time.Now().Add(time.Duration(seconds) * time.Second)
+		stop = func() bool { return time.Now().After(deadline) }
+	}
+	res := oracle.Fuzz(seed, iters, stop)
+	for _, e := range res.Errors {
+		fmt.Fprintln(os.Stderr, "ERROR", e)
+	}
+	for _, r := range res.Reports {
+		fmt.Print(r.String())
+	}
+	fmt.Printf("selfcheck: %d scenarios, %d with findings, %d errors\n",
+		res.Iterations, len(res.Reports), len(res.Errors))
+	if res.Failed() {
+		os.Exit(1)
+	}
 }
 
 // writeFile creates path and streams one observer emitter into it.

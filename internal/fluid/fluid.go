@@ -47,15 +47,27 @@ func Solve(s *matching.Schedule, router routing.Router, tm *workload.Matrix) (*R
 		return nil, err
 	}
 
-	// Capacities from the schedule.
+	// Capacities from the schedule: count integer slots per directed link
+	// and divide once by the period, so every capacity is an exact
+	// multiple of 1/period. (Accumulating float64 increments of 1/period
+	// drifts for non-power-of-2 periods once a link repeats.)
+	slotCount := make([][]int, s.N)
+	for u := range slotCount {
+		slotCount[u] = make([]int, s.N)
+	}
+	for _, m := range s.Slots {
+		for u, v := range m {
+			slotCount[u][v]++
+		}
+	}
+	period := float64(s.Period())
 	cap := make([][]float64, s.N)
 	for u := range cap {
 		cap[u] = make([]float64, s.N)
-	}
-	inc := 1 / float64(s.Period())
-	for _, m := range s.Slots {
-		for u, v := range m {
-			cap[u][v] += inc
+		for v, c := range slotCount[u] {
+			if c > 0 {
+				cap[u][v] = float64(c) / period
+			}
 		}
 	}
 

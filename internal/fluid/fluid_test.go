@@ -303,3 +303,40 @@ func TestHeteroScheduleRoutableAndStructured(t *testing.T) {
 		t.Fatalf("hetero θ=%f should beat structure-blind uniform θ=%f", res.Theta, uniRes.Theta)
 	}
 }
+
+func TestCapacityExactMultiplesOfPeriod(t *testing.T) {
+	// Capacities must be exact multiples of 1/period even when a link
+	// repeats within a non-power-of-2 period. OperaLike(n, e) repeats
+	// every matching e times over period (n−1)·e, so every link's
+	// capacity must be bit-exactly float64(e)/float64((n−1)·e). The old
+	// accumulation (e float adds of 1/period) drifts off that value.
+	for _, tc := range []struct{ n, epoch int }{
+		{4, 3}, {6, 5}, {8, 7}, {5, 9}, {10, 49},
+	} {
+		op, err := schedule.BuildOperaLike(tc.n, tc.epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := op.Schedule
+		d, err := routing.NewDirect(matching.Compile(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Solve(s, d, workload.Uniform(tc.n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(tc.epoch) / float64(s.Period())
+		if res.BottleneckCap != want {
+			t.Errorf("n=%d epoch=%d: bottleneck cap = %.20g, want exactly %.20g",
+				tc.n, tc.epoch, res.BottleneckCap, want)
+		}
+		// Every link carries load float64(1/(n−1)) under Direct+Uniform
+		// and has capacity epoch/period = 1/(n−1) rounded identically,
+		// so θ must be exactly 1.
+		if res.Theta != 1 {
+			t.Errorf("n=%d epoch=%d: Direct uniform θ = %.20g, want exactly 1",
+				tc.n, tc.epoch, res.Theta)
+		}
+	}
+}

@@ -117,6 +117,55 @@ func (s *Schedule) Clone() *Schedule {
 	return c
 }
 
+// Relabel returns the schedule of the node-relabeled network: with perm
+// a permutation of [0, N), node u of the original becomes node perm[u],
+// so slot t's matching m becomes perm ∘ m ∘ perm⁻¹. Relabeling is a pure
+// renaming — throughput and latency of any label-oblivious scheme are
+// invariant under it, which the oracle harness checks.
+func (s *Schedule) Relabel(perm []int) (*Schedule, error) {
+	if len(perm) != s.N {
+		return nil, fmt.Errorf("matching: relabel permutation over %d nodes, schedule over %d", len(perm), s.N)
+	}
+	if err := permValid(perm); err != nil {
+		return nil, err
+	}
+	out := &Schedule{N: s.N, Slots: make([]Matching, len(s.Slots))}
+	for i, m := range s.Slots {
+		rm := make(Matching, len(m))
+		for u, v := range m {
+			rm[perm[u]] = perm[v]
+		}
+		out.Slots[i] = rm
+	}
+	return out, nil
+}
+
+// permValid checks that perm is a permutation of [0, len(perm)).
+// Fixed points are fine here — this is a node renaming, not a matching.
+func permValid(perm []int) error {
+	seen := make([]bool, len(perm))
+	for u, v := range perm {
+		if v < 0 || v >= len(perm) || seen[v] {
+			return fmt.Errorf("matching: invalid permutation entry %d->%d", u, v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Equal reports whether two schedules have identical periods and slots.
+func (s *Schedule) Equal(o *Schedule) bool {
+	if s.N != o.N || len(s.Slots) != len(o.Slots) {
+		return false
+	}
+	for i, m := range s.Slots {
+		if !m.Equal(o.Slots[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // DestAt returns the node that `node` is circuited to in absolute slot t.
 func (s *Schedule) DestAt(node, t int) int {
 	return s.Slots[t%len(s.Slots)][node]

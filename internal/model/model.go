@@ -15,6 +15,7 @@ package model
 import (
 	"fmt"
 	"math"
+	"math/big"
 )
 
 // Params are the deployment parameters shared by all Table 1 rows.
@@ -42,10 +43,123 @@ type Row struct {
 	MinLatencyNS float64 // δm·slot/uplinks + hops·prop
 	Throughput   float64 // worst-case throughput fraction
 	BWCost       float64 // normalized bandwidth cost (≈ mean hop count)
+
+	// deltaMExact, when set by a constructor in this package, is the
+	// exact rational value of DeltaM (q and x interpreted as the
+	// rationals they were intended to be, e.g. x = 0.56 as 14/25).
+	// DeltaMSlots ceils this instead of the float when available.
+	deltaMExact *big.Rat
 }
 
 // DeltaMSlots returns δm rounded up to whole circuits, as Table 1 prints.
-func (r Row) DeltaMSlots() int { return int(math.Ceil(r.DeltaM - 1e-9)) }
+// Rows built by this package carry δm as an exact rational and the
+// ceiling is exact integer arithmetic; rows without one fall back to a
+// checked float ceiling that absorbs only ulp-scale error below an
+// integer (replacing the old fixed Ceil(δm − 1e-9) fudge, which silently
+// rounded any δm within 1e-9 above an integer back down).
+func (r Row) DeltaMSlots() int {
+	if r.deltaMExact != nil {
+		return ratCeil(r.deltaMExact)
+	}
+	return ceilChecked(r.DeltaM)
+}
+
+// DeltaMExact returns the exact rational δm when the row was built by a
+// constructor in this package (and the inputs admit one), or false.
+func (r Row) DeltaMExact() (*big.Rat, bool) {
+	if r.deltaMExact == nil {
+		return nil, false
+	}
+	return new(big.Rat).Set(r.deltaMExact), true
+}
+
+// ratCeil returns ⌈v⌉ for a rational v by exact integer division.
+func ratCeil(v *big.Rat) int {
+	q, m := new(big.Int).DivMod(v.Num(), v.Denom(), new(big.Int))
+	if m.Sign() != 0 && v.Sign() > 0 {
+		q.Add(q, big.NewInt(1))
+	}
+	return int(q.Int64())
+}
+
+// ceilChecked is the float fallback: a plain ceiling, except that a
+// value within a few ulps of an integer (on either side) is treated as
+// that integer — float round-off from the δm formulas, not a genuine
+// fractional circuit. The tolerance is relative (ulp-scaled), unlike
+// the old absolute 1e-9 which both missed large-magnitude round-off and
+// swallowed genuine sub-1e-9 fractions near integers.
+func ceilChecked(dm float64) int {
+	nearest := math.Round(dm)
+	if diff := math.Abs(dm - nearest); diff > 0 && diff <= 4*ulpAround(dm) {
+		return int(nearest)
+	}
+	return int(math.Ceil(dm))
+}
+
+// ulpAround returns the unit-in-last-place spacing at |v|, with a floor
+// of the spacing at 1 so values near zero still get a sane tolerance.
+func ulpAround(v float64) float64 {
+	a := math.Abs(v)
+	if a < 1 {
+		a = 1
+	}
+	return math.Nextafter(a, math.Inf(1)) - a
+}
+
+// RatFromFloat recovers the simple rational a float64 was rounded from:
+// the first continued-fraction convergent of v whose float64 quotient
+// round-trips to exactly v, with denominator capped at 2^26 (below that
+// cap distinct rationals are more than one ulp apart on [0,1]-scale
+// magnitudes, so the recovered rational is unique). Returns false when v
+// is not finite or no small rational round-trips — callers then either
+// keep the float path or use big.Rat.SetFloat64 (the exact binary
+// expansion) depending on which semantics they want.
+func RatFromFloat(v float64) (*big.Rat, bool) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil, false
+	}
+	const maxDen = 1 << 26
+	neg := v < 0
+	x := math.Abs(v)
+	if x > 1<<30 {
+		return nil, false
+	}
+	// Convergents h_i/k_i of the continued fraction of x:
+	// h_i = a_i·h_{i−1} + h_{i−2}, same for k, seeded h_{−1}=1, h_{−2}=0,
+	// k_{−1}=0, k_{−2}=1.
+	h1, h0 := int64(1), int64(0)
+	k1, k0 := int64(0), int64(1)
+	rem := x
+	for i := 0; i < 64; i++ {
+		a := math.Floor(rem)
+		if a > 1<<30 {
+			// A term this large either is the integer part of an
+			// out-of-scope value or would blow the denominator cap.
+			return nil, false
+		}
+		ai := int64(a)
+		h := ai*h1 + h0
+		k := ai*k1 + k0
+		if k > maxDen {
+			return nil, false
+		}
+		if float64(h)/float64(k) == x { //sornlint:ignore floateq -- exact round-trip is the acceptance test
+			if neg {
+				h = -h
+			}
+			return big.NewRat(h, k), true
+		}
+		h0, h1 = h1, h
+		k0, k1 = k1, k
+		frac := rem - a
+		//sornlint:ignore floateq -- exact termination of the expansion
+		if frac == 0 {
+			return nil, false
+		}
+		rem = 1 / frac
+	}
+	return nil, false
+}
 
 // MinLatencyMicros returns the minimum worst-case latency in µs.
 func (r Row) MinLatencyMicros() float64 { return r.MinLatencyNS / 1000 }
@@ -65,6 +179,7 @@ func ORN1D(p Params) Row {
 		MinLatencyNS: p.latency(dm, 2, p.SlotNS),
 		Throughput:   0.5,
 		BWCost:       2,
+		deltaMExact:  big.NewRat(int64(p.N-1), 1),
 	}
 }
 
@@ -76,14 +191,41 @@ func ORN(p Params, h int) (Row, error) {
 	}
 	a := math.Pow(float64(p.N), 1/float64(h))
 	dm := 2 * float64(h) * (a - 1)
-	return Row{
+	row := Row{
 		System:       fmt.Sprintf("Optimal ORN %dD", h),
 		MaxHops:      2 * h,
 		DeltaM:       dm,
 		MinLatencyNS: p.latency(dm, 2*h, p.SlotNS),
 		Throughput:   1 / (2 * float64(h)),
 		BWCost:       2 * float64(h),
-	}, nil
+	}
+	// When N is a perfect h-th power (every deployed ORN), δm is the
+	// integer 2h(a−1) — no float root extraction in the slot count.
+	if ai, ok := intRoot(p.N, h); ok {
+		row.deltaMExact = big.NewRat(int64(2*h*(ai-1)), 1)
+	}
+	return row, nil
+}
+
+// intRoot returns the exact integer h-th root of n, when one exists.
+func intRoot(n, h int) (int, bool) {
+	if n < 1 || h < 1 {
+		return 0, false
+	}
+	a := int(math.Round(math.Pow(float64(n), 1/float64(h))))
+	for _, cand := range []int{a - 1, a, a + 1} {
+		if cand < 1 {
+			continue
+		}
+		p := 1
+		for i := 0; i < h; i++ {
+			p *= cand
+		}
+		if p == n {
+			return cand, true
+		}
+	}
+	return 0, false
 }
 
 // OperaParams carry Opera's [18] deployment assumptions as used in
@@ -117,6 +259,7 @@ func Opera(p Params, op OperaParams) []Row {
 			MinLatencyNS: p.latency(0, op.ShortHops, op.SlotNS),
 			Throughput:   op.Throughput,
 			BWCost:       op.BWCost,
+			deltaMExact:  big.NewRat(0, 1),
 		},
 		{
 			System:       "Opera",
@@ -126,6 +269,7 @@ func Opera(p Params, op OperaParams) []Row {
 			MinLatencyNS: p.latency(bulkDM, 2, op.SlotNS),
 			Throughput:   op.Throughput,
 			BWCost:       op.BWCost,
+			deltaMExact:  big.NewRat(int64(p.N-1), 1),
 		},
 	}
 }
@@ -217,6 +361,37 @@ func InterCliqueDeltaMTable(n, nc int, q float64) float64 {
 	return q*float64(nc-1) + IntraCliqueDeltaM(n, nc, q)
 }
 
+// SORNDeltaMExact returns the exact rational intra- and inter-clique δm
+// at q* = 2/(1−x), with x interpreted as the simple rational its float
+// was rounded from (e.g. 0.56 as 14/25, so q* = 50/11 for Table 1).
+// tableVariant selects the inter-clique formula Table 1 prints over the
+// text's (see SORNParams.TableVariant). ok is false when x ≥ 1 (q*
+// diverges) or the float does not recover a small rational.
+func SORNDeltaMExact(n, nc int, x float64, tableVariant bool) (intra, inter *big.Rat, ok bool) {
+	if nc < 1 || n%nc != 0 {
+		return nil, nil, false
+	}
+	xr, ok := RatFromFloat(x)
+	if !ok || x >= 1 || x < 0 {
+		return nil, nil, false
+	}
+	one := big.NewRat(1, 1)
+	q := new(big.Rat).Quo(big.NewRat(2, 1), new(big.Rat).Sub(one, xr)) // q* = 2/(1−x)
+	k := int64(n / nc)
+	// intra = (q+1)/q · (k−1)
+	qp1 := new(big.Rat).Add(q, one)
+	intra = new(big.Rat).Quo(qp1, q)
+	intra.Mul(intra, big.NewRat(k-1, 1))
+	// inter = first-term·(Nc−1) + intra, first term q (table) or q+1 (text)
+	first := q
+	if !tableVariant {
+		first = qp1
+	}
+	inter = new(big.Rat).Mul(first, big.NewRat(int64(nc-1), 1))
+	inter.Add(inter, intra)
+	return intra, inter, true
+}
+
 // SORN returns the intra- and inter-clique rows for a SORN design point
 // at the throughput-optimal q* for the given locality ratio.
 func SORN(p Params, sp SORNParams) ([]Row, error) {
@@ -234,7 +409,7 @@ func SORN(p Params, sp SORNParams) ([]Row, error) {
 		interDM = InterCliqueDeltaM(p.N, sp.Nc, q)
 	}
 	name := fmt.Sprintf("SORN Nc=%d", sp.Nc)
-	return []Row{
+	rows := []Row{
 		{
 			System:       name,
 			Variant:      "intra-clique",
@@ -253,7 +428,12 @@ func SORN(p Params, sp SORNParams) ([]Row, error) {
 			Throughput:   r,
 			BWCost:       bw,
 		},
-	}, nil
+	}
+	if intraEx, interEx, ok := SORNDeltaMExact(p.N, sp.Nc, sp.X, sp.TableVariant); ok {
+		rows[0].deltaMExact = intraEx
+		rows[1].deltaMExact = interEx
+	}
+	return rows, nil
 }
 
 // Table1 regenerates the paper's Table 1: all systems at the paper's

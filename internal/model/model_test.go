@@ -262,3 +262,122 @@ func TestSORNSyncEfficiencyBeatsFlat(t *testing.T) {
 		t.Fatalf("weighted efficiency %f outside (%f, %f)", sorn, flat, intra)
 	}
 }
+
+func TestDeltaMSlotsExactRationalTable1(t *testing.T) {
+	// Table 1's SORN rows carry δm as exact rationals: x = 0.56 is the
+	// decimal 14/25, so q* = 50/11, (q+1)/q = 61/50, and for Nc=64
+	// intra δm = (61/50)·63 = 3843/50. The printed slot counts follow
+	// by exact integer ceiling — no epsilon anywhere.
+	for _, tc := range []struct {
+		nc                     int
+		intraNum, intraDen     int64
+		interNum, interDen     int64
+		intraSlots, interSlots int
+	}{
+		{64, 3843, 50, 199773, 550, 77, 364},
+		{32, 7747, 50, 162717, 550, 155, 296},
+	} {
+		rows, err := SORN(Table1Params(), SORNParams{Nc: tc.nc, X: 0.56, TableVariant: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range []struct {
+			num, den int64
+			slots    int
+		}{
+			{tc.intraNum, tc.intraDen, tc.intraSlots},
+			{tc.interNum, tc.interDen, tc.interSlots},
+		} {
+			ex, ok := rows[i].DeltaMExact()
+			if !ok {
+				t.Fatalf("Nc=%d row %d: no exact δm", tc.nc, i)
+			}
+			if ex.Num().Int64() != want.num || ex.Denom().Int64() != want.den {
+				t.Errorf("Nc=%d row %d: exact δm = %s, want %d/%d", tc.nc, i, ex, want.num, want.den)
+			}
+			if got := rows[i].DeltaMSlots(); got != want.slots {
+				t.Errorf("Nc=%d row %d: δm slots = %d, want %d", tc.nc, i, got, want.slots)
+			}
+		}
+	}
+}
+
+func TestDeltaMSlotsIntegerBoundary(t *testing.T) {
+	// x = 0.5 → q* = 4, (q+1)/q = 5/4; with cliques of 5 (k−1 = 4) the
+	// intra δm is exactly the integer 5 and the slot count must be 5,
+	// not 6: the ceiling sits on the boundary and only exact arithmetic
+	// answers it reliably. The text-variant inter δm is (4+1)·1+5 = 10.
+	p := Params{N: 10, Uplinks: 1, SlotNS: 100, PropNS: 500}
+	rows, err := SORN(p, SORNParams{Nc: 2, X: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, ok := rows[0].DeltaMExact()
+	if !ok || !intra.IsInt() || intra.Num().Int64() != 5 {
+		t.Fatalf("intra δm exact = %v (ok=%v), want integer 5", intra, ok)
+	}
+	if rows[0].DeltaMSlots() != 5 {
+		t.Fatalf("intra δm slots = %d, want exactly 5", rows[0].DeltaMSlots())
+	}
+	if rows[1].DeltaMSlots() != 10 {
+		t.Fatalf("inter δm slots = %d, want exactly 10", rows[1].DeltaMSlots())
+	}
+}
+
+func TestCeilCheckedFallback(t *testing.T) {
+	// Rows without an exact rational use the checked float ceiling:
+	// ulp-scale error around an integer is absorbed, genuine fractions
+	// are not. The old Ceil(δm − 1e-9) fudge wrongly rounded δm = n+1e-9
+	// down to n; the relative tolerance keeps the absorption at float
+	// round-off scale across magnitudes.
+	for _, tc := range []struct {
+		dm   float64
+		want int
+	}{
+		{5, 5},
+		{math.Nextafter(5, math.Inf(1)), 5},
+		{math.Nextafter(5, math.Inf(-1)), 5},
+		{5 + 1e-9, 6}, // genuine fraction: old fudge returned 5
+		{4.3, 5},      // plain ceiling
+		{4095, 4095},  // Table-1 scale integer
+		{4095 + 1e-9, 4096},
+		{0, 0},
+	} {
+		r := Row{DeltaM: tc.dm} // no exact rational attached
+		if got := r.DeltaMSlots(); got != tc.want {
+			t.Errorf("DeltaMSlots(%v) = %d, want %d", tc.dm, got, tc.want)
+		}
+	}
+}
+
+func TestRatFromFloat(t *testing.T) {
+	for _, tc := range []struct {
+		v        float64
+		num, den int64
+	}{
+		{0.56, 14, 25},
+		{1.0 / 3, 1, 3},
+		{1.0 / 7, 1, 7},
+		{0.25, 1, 4},
+		{63.0 / 4095, 1, 65}, // (k−1)/(N−1) style uniform rate
+		{0, 0, 1},
+		{-0.5, -1, 2},
+		{42, 42, 1},
+	} {
+		r, ok := RatFromFloat(tc.v)
+		if !ok {
+			t.Fatalf("RatFromFloat(%v): no rational recovered", tc.v)
+		}
+		if r.Num().Int64() != tc.num || r.Denom().Int64() != tc.den {
+			t.Errorf("RatFromFloat(%v) = %s, want %d/%d", tc.v, r, tc.num, tc.den)
+		}
+		if f, _ := r.Float64(); f != tc.v {
+			t.Errorf("RatFromFloat(%v) does not round-trip: %v", tc.v, f)
+		}
+	}
+	for name, v := range map[string]float64{"NaN": math.NaN(), "+Inf": math.Inf(1), "-Inf": math.Inf(-1)} {
+		if _, ok := RatFromFloat(v); ok {
+			t.Errorf("RatFromFloat(%s) unexpectedly succeeded", name)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package oracle
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// closedFormTheta returns the exact rational throughput derived
+// independently of the fluid solver — by hand, from the schedule's
+// structure and the traffic class, with none of the solver's per-link
+// accounting — plus a name for reports. ok is false when no closed form
+// covers this design × traffic-class combination (the float-vs-rational
+// and metamorphic checks still apply there).
+//
+// Derivations (all for the repo's builders; loads are per directed
+// link at demand scaling 1, capacities are slots-per-period fractions):
+//
+//   - direct over RoundRobin(n): every ordered pair has exactly one slot
+//     per period n−1, and each link carries exactly its pair's rate, so
+//     θ = (1/(n−1)) / max rate. Any traffic matrix.
+//
+//   - orn1 (2-hop VLB over RoundRobin(n)): link a→b carries a's sprayed
+//     demand (row(a)/(n−1)) plus the correction traffic for b from every
+//     other source ((col(b)−rate(a,b))/(n−1)); capacity 1/(n−1), so
+//     θ = 1 / max_{a≠b}(row(a) + col(b) − rate(a,b)) over loaded links.
+//     Any traffic matrix.
+//
+//   - orn2 (h=2 digit routing, base a, N=a², period h(a−1)): for a
+//     per-class-uniform (here: fully uniform) matrix with off-diagonal
+//     rate r, every schedule link carries exactly 2·r·(N−1)/a (spray
+//     role + correction role, the diagonal exclusion cancels exactly),
+//     capacity 1/(h(a−1)), so θ = a / (h(a−1)·2r(N−1)). Uniform only.
+//
+//   - sorn (cliques of k, Nc cliques, realized weights wIntra/wInter,
+//     period P = (k−1)wIntra + (Nc−1)wInter): for a class-uniform matrix
+//     (intra rate rI, inter rate rX — the locality and uniform
+//     families), each intra link carries rI(2k−3)/(k−1) from intra VLB
+//     (first + second hop roles) plus 2·rX(N−k)/k from inter traffic's
+//     load-balancing and landing hops; each inter link carries k·rX.
+//     Capacities wIntra/P and wInter/P, θ = min of the two ratios.
+func closedFormTheta(sc *scenario) (*big.Rat, string, bool, error) {
+	switch sc.spec.Design {
+	case "direct":
+		maxRate := maxRat(sc.ratTM)
+		if maxRate == nil {
+			return nil, "", false, fmt.Errorf("oracle: empty traffic matrix")
+		}
+		n := int64(sc.spec.N)
+		theta := new(big.Rat).Quo(big.NewRat(1, n-1), maxRate)
+		return theta, "direct-anytm", true, nil
+
+	case "orn1":
+		n := sc.spec.N
+		rows := make([]*big.Rat, n)
+		cols := make([]*big.Rat, n)
+		for i := 0; i < n; i++ {
+			rows[i], cols[i] = new(big.Rat), new(big.Rat)
+		}
+		for s := range sc.ratTM {
+			for d, r := range sc.ratTM[s] {
+				if r != nil {
+					rows[s].Add(rows[s], r)
+					cols[d].Add(cols[d], r)
+				}
+			}
+		}
+		var worst *big.Rat
+		v := new(big.Rat)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				v.Add(rows[a], cols[b])
+				if r := sc.ratTM[a][b]; r != nil {
+					v.Sub(v, r)
+				}
+				if v.Sign() > 0 && (worst == nil || v.Cmp(worst) > 0) {
+					worst = new(big.Rat).Set(v)
+				}
+			}
+		}
+		if worst == nil {
+			return nil, "", false, fmt.Errorf("oracle: empty traffic matrix")
+		}
+		theta := new(big.Rat).Quo(big.NewRat(1, 1), worst)
+		return theta, "vlb-anytm", true, nil
+
+	case "orn2":
+		r, uniform := uniformOffDiag(sc.ratTM)
+		if !uniform {
+			return nil, "", false, nil
+		}
+		a := int64(sc.orn.Base)
+		h := int64(sc.orn.H)
+		n := int64(sc.spec.N)
+		// θ = a / (h(a−1) · 2·r·(n−1))
+		load := new(big.Rat).Mul(r, big.NewRat(2*(n-1), 1))
+		load.Mul(load, big.NewRat(h*(a-1), 1))
+		theta := new(big.Rat).Quo(big.NewRat(a, 1), load)
+		return theta, "orn-uniform", true, nil
+
+	case "sorn":
+		tI, tX, classUniform := sornClassThetas(sc)
+		if !classUniform {
+			return nil, "", false, nil
+		}
+		var theta *big.Rat
+		for _, t := range []*big.Rat{tI, tX} {
+			if t != nil && (theta == nil || t.Cmp(theta) < 0) {
+				theta = t
+			}
+		}
+		if theta == nil {
+			return nil, "", false, fmt.Errorf("oracle: empty traffic matrix")
+		}
+		return theta, "sorn-classuniform", true, nil
+	}
+	return nil, "", false, nil
+}
+
+// sornClassThetas returns the capacity/load ratio of the intra-link and
+// inter-link classes separately for a class-uniform SORN scenario (nil
+// for a class carrying no load); θ is their min, and the netsim
+// comparability guard uses their ratio. classUniform is false when the
+// matrix is not uniform within classes.
+func sornClassThetas(sc *scenario) (tIntra, tInter *big.Rat, classUniform bool) {
+	rI, rX, ok := classUniformRates(sc)
+	if !ok {
+		return nil, nil, false
+	}
+	k := int64(sc.spec.N / sc.spec.Nc)
+	n := int64(sc.spec.N)
+	p := int64(sc.sched.Period())
+	// loadIntra = rI(2k−3)/(k−1) + 2·rX(n−k)/k
+	loadIntra := new(big.Rat).Mul(rI, big.NewRat(2*k-3, k-1))
+	loadIntra.Add(loadIntra, new(big.Rat).Mul(rX, big.NewRat(2*(n-k), k)))
+	// loadInter = k·rX
+	loadInter := new(big.Rat).Mul(rX, big.NewRat(k, 1))
+	if loadIntra.Sign() > 0 {
+		tIntra = new(big.Rat).Quo(big.NewRat(int64(sc.sorn.WIntra), p), loadIntra)
+	}
+	if loadInter.Sign() > 0 {
+		tInter = new(big.Rat).Quo(big.NewRat(int64(sc.sorn.WInter), p), loadInter)
+	}
+	return tIntra, tInter, true
+}
+
+// maxRat returns the largest entry of a rational matrix, nil when empty.
+func maxRat(m [][]*big.Rat) *big.Rat {
+	var max *big.Rat
+	for s := range m {
+		for _, r := range m[s] {
+			if r != nil && (max == nil || r.Cmp(max) > 0) {
+				max = r
+			}
+		}
+	}
+	return max
+}
+
+// uniformOffDiag reports whether every off-diagonal entry is one equal
+// positive rate, returning it.
+func uniformOffDiag(m [][]*big.Rat) (*big.Rat, bool) {
+	var r *big.Rat
+	for s := range m {
+		for d, e := range m[s] {
+			if s == d {
+				continue
+			}
+			if e == nil {
+				return nil, false
+			}
+			if r == nil {
+				r = e
+			} else if e.Cmp(r) != 0 {
+				return nil, false
+			}
+		}
+	}
+	return r, r != nil
+}
+
+// classUniformRates reports whether the scenario's rational matrix is
+// uniform within the intra-clique and inter-clique classes (the locality
+// family shape), returning both per-pair rates. Zero rates are allowed
+// in either class (x = 0 or x = 1 corners); rI/rX are then rational 0.
+func classUniformRates(sc *scenario) (rI, rX *big.Rat, ok bool) {
+	rI, rX = new(big.Rat), new(big.Rat)
+	seenI, seenX := false, false
+	for s := range sc.ratTM {
+		for d, e := range sc.ratTM[s] {
+			if s == d {
+				continue
+			}
+			val := e
+			if val == nil {
+				val = new(big.Rat)
+			}
+			if sc.cliques.SameClique(s, d) {
+				if !seenI {
+					rI.Set(val)
+					seenI = true
+				} else if val.Cmp(rI) != 0 {
+					return nil, nil, false
+				}
+			} else {
+				if !seenX {
+					rX.Set(val)
+					seenX = true
+				} else if val.Cmp(rX) != 0 {
+					return nil, nil, false
+				}
+			}
+		}
+	}
+	return rI, rX, seenI || seenX
+}

@@ -7,11 +7,21 @@
 //   - SORN routing (§4): 2-hop VLB inside cliques, 3 hops across cliques
 //     (load-balancing intra hop → inter-clique circuit → final intra hop)
 //
-// Every Router exposes the hop sequence two ways: Route picks one concrete
-// path for a packet (used by the slotted simulator; the load-balancing hop
-// uses the next available circuit, so it adds no intrinsic wait), and
-// Paths enumerates the time-averaged path distribution (used by the fluid
-// throughput solver).
+// Every Router exposes the hop sequence two ways: Route samples one
+// concrete path for a packet (used by the slotted simulator), and Paths
+// enumerates the full path distribution (used by the fluid throughput
+// solver). The two MUST agree: Route's load-balancing hops draw from
+// exactly the distribution Paths declares, using the caller's RNG. An
+// earlier revision instead took the "next available" circuit at the
+// injection slot — zero intrinsic wait, but the relay choice then
+// correlates with the slot, and under arrivals that are themselves
+// slot-correlated (saturation backlog refills, multi-plane staggering)
+// the spray concentrates on a few relays and the Valiant throughput
+// guarantee breaks (~25% below the fluid prediction at mixed SORN design
+// points). The differential oracle (internal/oracle) cross-checks the
+// two representations; the small extra wait for a randomly chosen relay's
+// circuit is bounded by the intra-circuit spacing and is the price of the
+// paper's throughput model actually holding.
 package routing
 
 import (
@@ -35,9 +45,11 @@ type Router interface {
 	Name() string
 	// MaxHops is the worst-case path length in links.
 	MaxHops() int
-	// Route returns the hop sequence for one packet src→dst. slot is the
-	// absolute time slot at injection, used by load-balancing hops that
-	// take the "first available" circuit; r supplies randomness.
+	// Route returns the hop sequence for one packet src→dst, sampled
+	// from the same distribution Paths enumerates. slot is the absolute
+	// time slot at injection (available to slot-aware schemes); r
+	// supplies the randomness for load-balancing hops and must be
+	// non-nil for every scheme that load-balances.
 	Route(src, dst, slot int, r *rng.RNG) Route
 	// RouteInto is the allocation-free fast path of Route: it appends the
 	// same hop sequence to buf (which may be nil, or a zero-length reused
@@ -103,9 +115,10 @@ func (d *Direct) Paths(src, dst int, fn func(Route, float64)) {
 }
 
 // VLB is 2-hop Valiant load balancing over a fully connected schedule:
-// the first hop takes the next available circuit (uniform over nodes in
-// time average), the second hop is the direct circuit to the destination.
-// Worst-case throughput 50% for arbitrary traffic.
+// the first hop sprays to a uniformly random intermediate, the second hop
+// is the direct circuit to the destination. Worst-case throughput 50% for
+// arbitrary traffic — a guarantee that requires the spray to be random
+// per packet, not slot-derived (see the package comment).
 type VLB struct {
 	n        int
 	compiled *matching.Compiled
@@ -126,15 +139,19 @@ func (v *VLB) Name() string { return "vlb" }
 // MaxHops implements Router.
 func (v *VLB) MaxHops() int { return 2 }
 
-// Route implements Router. The load-balancing hop uses the circuit active
-// at the injection slot (zero intrinsic wait).
+// Route implements Router. The load-balancing hop is uniform over the
+// n−1 nodes other than src (drawing dst yields the direct path),
+// matching Paths exactly.
 func (v *VLB) Route(src, dst, slot int, r *rng.RNG) Route {
 	return v.RouteInto(nil, src, dst, slot, r)
 }
 
 // RouteInto implements Router.
 func (v *VLB) RouteInto(buf Route, src, dst, slot int, r *rng.RNG) Route {
-	w := v.compiled.Schedule().DestAt(src, slot)
+	w := r.Intn(v.n - 1)
+	if w >= src {
+		w++
+	}
 	buf = append(buf, src)
 	buf = appendHop(buf, w)
 	return appendHop(buf, dst)
@@ -221,55 +238,11 @@ func (o *ORN) Paths(src, dst int, fn func(Route, float64)) {
 type SORN struct {
 	s        *schedule.SORN
 	compiled *matching.Compiled
-	// intraNext[u*period+t] is the destination of u's first intra-clique
-	// circuit at or after phase t (wrapping around the period), or -1 when
-	// u's clique is a singleton and the load-balancing hop degenerates to
-	// u itself. Precomputed once so the per-packet "first available"
-	// lookup is O(1) instead of a linear DestAt scan over the period.
-	intraNext []int32
-	period    int
 }
 
 // NewSORN builds the router for a built SORN schedule.
 func NewSORN(s *schedule.SORN) *SORN {
-	r := &SORN{s: s, compiled: matching.Compile(s.Schedule)}
-	r.buildIntraIndex()
-	return r
-}
-
-// buildIntraIndex precomputes the first-available intra-clique circuit
-// for every (node, phase). Two backward passes over the period: the
-// first seeds the wrap-around, the second records the answers.
-func (s *SORN) buildIntraIndex() {
-	cl := s.s.Cliques
-	sched := s.s.Schedule
-	p := sched.Period()
-	n := sched.N
-	s.period = p
-	s.intraNext = make([]int32, n*p)
-	for u := 0; u < n; u++ {
-		row := s.intraNext[u*p : (u+1)*p]
-		if cl.Size(cl.CliqueOf(u)) == 1 {
-			for t := range row {
-				row[t] = -1
-			}
-			continue
-		}
-		next := int32(-1)
-		for t := 2*p - 1; t >= 0; t-- {
-			if d := sched.Slots[t%p][u]; cl.SameClique(u, d) {
-				next = int32(d)
-			}
-			if t < p {
-				row[t] = next
-			}
-		}
-		if next < 0 {
-			// A clique of size >= 2 always has intra slots; reaching here
-			// means the schedule was built inconsistently.
-			panic("routing: SORN schedule has no intra-clique circuit")
-		}
-	}
+	return &SORN{s: s, compiled: matching.Compile(s.Schedule)}
 }
 
 // Name implements Router.
@@ -292,9 +265,10 @@ func (s *SORN) landing(w, targetClique int) int {
 	return mem[cl.LocalIndex(w)%len(mem)]
 }
 
-// Route implements Router. The first (load-balancing) hop takes the next
-// available intra-clique circuit at the injection slot; per the paper it
-// adds effectively zero intrinsic latency.
+// Route implements Router. The load-balancing hop samples exactly the
+// distribution Paths declares: uniform over clique peers for intra
+// traffic, uniform over all clique members (src itself meaning "use own
+// inter-clique circuit") for inter traffic.
 func (s *SORN) Route(src, dst, slot int, r *rng.RNG) Route {
 	return s.RouteInto(nil, src, dst, slot, r)
 }
@@ -302,26 +276,23 @@ func (s *SORN) Route(src, dst, slot int, r *rng.RNG) Route {
 // RouteInto implements Router.
 func (s *SORN) RouteInto(buf Route, src, dst, slot int, r *rng.RNG) Route {
 	cl := s.s.Cliques
-	w := s.firstAvailableIntra(src, slot)
+	mem := cl.Members(cl.CliqueOf(src))
 	buf = append(buf, src)
-	buf = appendHop(buf, w)
 	if cl.SameClique(src, dst) {
+		if len(mem) > 1 {
+			j := r.Intn(len(mem) - 1)
+			if j >= cl.LocalIndex(src) {
+				j++
+			}
+			buf = appendHop(buf, mem[j])
+		}
 		return appendHop(buf, dst)
 	}
+	w := mem[r.Intn(len(mem))]
+	buf = appendHop(buf, w)
 	y := s.landing(w, cl.CliqueOf(dst))
 	buf = appendHop(buf, y)
 	return appendHop(buf, dst)
-}
-
-// firstAvailableIntra returns the destination of src's next intra-clique
-// circuit at or after slot; when the clique is a singleton it returns src
-// (the load-balancing hop degenerates to a no-op).
-func (s *SORN) firstAvailableIntra(src, slot int) int {
-	d := s.intraNext[src*s.period+slot%s.period]
-	if d < 0 {
-		return src
-	}
-	return int(d)
 }
 
 // Paths implements Router. The load-balancing hop is uniform over the

@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -102,17 +103,23 @@ func TestVLBRouter(t *testing.T) {
 	checkRouteValid(t, v, c, 10, 2)
 }
 
-func TestVLBFirstHopIsActiveCircuit(t *testing.T) {
+func TestVLBSpraysAllRelays(t *testing.T) {
+	// The Valiant spray must reach every node except src — including dst,
+	// which yields the direct path — independent of the injection slot.
 	c := matching.Compile(matching.RoundRobin(10))
 	v, _ := NewVLB(c)
 	r := rng.New(3)
-	for slot := 0; slot < 20; slot++ {
-		p := v.Route(0, 5, slot, r)
+	seen := make(map[int]bool)
+	for i := 0; i < 2000; i++ {
+		p := v.Route(0, 5, 7, r) // fixed slot: the spray may not depend on it
 		w := p[1]
-		if len(p) == 3 && c.Schedule().DestAt(0, slot) != w {
-			t.Fatalf("slot %d: first hop %d is not the active circuit %d",
-				slot, w, c.Schedule().DestAt(0, slot))
+		if w == 0 {
+			t.Fatalf("route %v sprays to src itself", p)
 		}
+		seen[w] = true
+	}
+	if len(seen) != 9 {
+		t.Fatalf("spray reached %d relays, want all 9", len(seen))
 	}
 }
 
@@ -263,27 +270,41 @@ func TestSORNSingleClique(t *testing.T) {
 	checkRouteValid(t, router, c, 8, 7)
 }
 
-func TestSORNFirstHopZeroWait(t *testing.T) {
-	// The load-balancing hop must use a circuit active at or very soon
-	// after the injection slot: the wait until the chosen first hop's
-	// circuit must be at most the inter-clique gap of the schedule.
-	s, _ := schedule.BuildSORN(schedule.SORNConfig{N: 32, Nc: 4, Q: 3})
-	router := NewSORN(s)
-	c := matching.Compile(s.Schedule)
-	r := rng.New(9)
-	for slot := 0; slot < s.Schedule.Period()*2; slot++ {
-		p := router.Route(1, 2, slot, r)
-		if len(p) < 3 {
-			continue // direct path
-		}
-		w, ok := c.WaitSlots(1, p[1], slot)
-		if !ok {
-			t.Fatalf("no circuit for first hop of %v", p)
-		}
-		// q=3: intra circuits occupy 3/4 of slots; first available intra
-		// circuit is at most a couple of slots away.
-		if w > 3 {
-			t.Fatalf("slot %d: first hop waits %d slots", slot, w)
+// TestRouteSamplesPathsDistribution is the contract the differential
+// oracle depends on: for every router, Route's empirical path frequencies
+// must match the distribution Paths declares — identical support, each
+// path within 5σ of its probability. The slot argument must not shift
+// the distribution (the regression this guards: relays chosen from the
+// slot correlate with slot-correlated arrivals and break the Valiant
+// throughput guarantee).
+func TestRouteSamplesPathsDistribution(t *testing.T) {
+	const trials = 20000
+	for _, router := range routersUnderTest(t) {
+		r := rng.New(11)
+		for _, pair := range [][2]int{{0, 1}, {0, 5}, {3, 12}, {7, 2}, {15, 4}} {
+			src, dst := pair[0], pair[1]
+			want := make(map[string]float64)
+			router.Paths(src, dst, func(p Route, prob float64) {
+				want[fmt.Sprint(p)] += prob
+			})
+			got := make(map[string]int)
+			for i := 0; i < trials; i++ {
+				got[fmt.Sprint(router.Route(src, dst, i%37, r))]++
+			}
+			for k := range got {
+				if want[k] == 0 {
+					t.Fatalf("%s %d->%d: Route produced %s outside the Paths support",
+						router.Name(), src, dst, k)
+				}
+			}
+			for k, p := range want {
+				f := float64(got[k]) / trials
+				sigma := math.Sqrt(p * (1 - p) / trials)
+				if math.Abs(f-p) > 5*sigma+1e-12 {
+					t.Errorf("%s %d->%d: path %s frequency %.4f, probability %.4f (5σ=%.4f)",
+						router.Name(), src, dst, k, f, p, 5*sigma)
+				}
+			}
 		}
 	}
 }
@@ -447,52 +468,6 @@ func TestRouteIntoDoesNotAllocate(t *testing.T) {
 			buf = router.RouteInto(buf[:0], 0, 15, 3, r)
 		}); avg != 0 {
 			t.Errorf("%s: RouteInto allocates %.1f per call with a warm buffer", router.Name(), avg)
-		}
-	}
-}
-
-// scanIntra is the definitional linear scan that SORN's precomputed
-// intra-circuit index replaced: walk the schedule forward from `slot`
-// until src's circuit lands inside its own clique.
-func scanIntra(b *schedule.SORN, src, slot int) int {
-	cl := b.Cliques
-	if cl.Size(cl.CliqueOf(src)) == 1 {
-		return src
-	}
-	p := b.Schedule.Period()
-	for t := slot; t < slot+p; t++ {
-		if d := b.Schedule.DestAt(src, t); cl.SameClique(src, d) {
-			return d
-		}
-	}
-	return src
-}
-
-func TestSORNFirstAvailableIntraMatchesScan(t *testing.T) {
-	// The O(1) index must agree with the linear scan for every node and
-	// phase, including past one period (wrap-around) and for singleton
-	// cliques (k = 1, where the load-balancing hop degenerates to src).
-	for _, cfg := range []schedule.SORNConfig{
-		{N: 16, Nc: 4, Q: 2},
-		{N: 12, Nc: 3, Q: 0.5},
-		{N: 8, Nc: 2, Q: 5},
-		{N: 6, Nc: 6, Q: 1}, // singleton cliques
-	} {
-		built, err := schedule.BuildSORN(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		router := NewSORN(built)
-		p := built.Schedule.Period()
-		for src := 0; src < cfg.N; src++ {
-			for slot := 0; slot < 2*p+3; slot++ {
-				got := router.firstAvailableIntra(src, slot)
-				want := scanIntra(built, src, slot)
-				if got != want {
-					t.Fatalf("N=%d Nc=%d q=%g: firstAvailableIntra(%d, %d) = %d, linear scan = %d",
-						cfg.N, cfg.Nc, cfg.Q, src, slot, got, want)
-				}
-			}
 		}
 	}
 }

@@ -102,6 +102,30 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// Relabel returns the matrix of the node-relabeled network: node u's
+// demand becomes node perm[u]'s, so rate(s,d) moves to (perm[s], perm[d]).
+// Entries are copied bit-for-bit — relabeling must not perturb a single
+// rate, since the oracle harness checks throughput invariance under it.
+func (m *Matrix) Relabel(perm []int) (*Matrix, error) {
+	if len(perm) != m.N {
+		return nil, fmt.Errorf("workload: relabel permutation over %d nodes, matrix over %d", len(perm), m.N)
+	}
+	seen := make([]bool, m.N)
+	for u, v := range perm {
+		if v < 0 || v >= m.N || seen[v] {
+			return nil, fmt.Errorf("workload: invalid permutation entry %d->%d", u, v)
+		}
+		seen[v] = true
+	}
+	out := NewMatrix(m.N)
+	for s := 0; s < m.N; s++ {
+		for d := 0; d < m.N; d++ {
+			out.Rates[perm[s]][perm[d]] = m.Rates[s][d]
+		}
+	}
+	return out, nil
+}
+
 // IntraFraction returns the fraction of total demand that is intra-clique
 // under the given partition — the locality ratio x of §3.
 func (m *Matrix) IntraFraction(cl *schedule.Cliques) float64 {

@@ -25,15 +25,21 @@
 #                               Stats), Sim.Reset bit-identity vs a
 #                               fresh simulator, and sweep results
 #                               bit-identical across sweep concurrency
-#   7. go test -race ./...   -- the race detector over the full suite;
+#   7. oracle corpus         -- the differential-testing corpus gate
+#                               (internal/oracle) under -race: three
+#                               independent throughput oracles must
+#                               agree on every fixed scenario, and every
+#                               metamorphic relation must hold; budgeted
+#                               random fuzzing is scripts/fuzz.sh
+#   8. go test -race ./...   -- the race detector over the full suite;
 #                               goroutine fan-out in internal/experiments
 #                               and internal/netsim must be both
 #                               race-free and deterministic
-#   8. bench.sh -quick       -- the benchmark harness builds, runs, and
+#   9. bench.sh -quick       -- the benchmark harness builds, runs, and
 #                               its JSON emitter parses the output; no
 #                               thresholds, and the committed
 #                               BENCH_netsim.json is left untouched
-#   9. obs overhead gate     -- BenchmarkInjectSaturated (one full
+#  10. obs overhead gate     -- BenchmarkInjectSaturated (one full
 #                               saturated slot, injection through
 #                               delivery) run twice on this machine,
 #                               observer off then on (-benchobs),
@@ -43,7 +49,7 @@
 #                               committed ledger entries from other
 #                               hosts are not comparable in absolute
 #                               ns/op.)
-#  10. sweep reuse gate      -- BenchmarkFig2fSweepQuick (the CI-sized
+#  11. sweep reuse gate      -- BenchmarkFig2fSweepQuick (the CI-sized
 #                               Figure 2(f) sweep) run fresh-per-point
 #                               (-benchsweepfresh) then with the pooled
 #                               Reset reuse path, compared via
@@ -89,6 +95,14 @@ go test -race -run 'TestParallelDeterminism|TestObsNonPerturbation|TestSimResetB
 
 echo "== go test -race -run 'TestSweepDeterminismAcrossConcurrency' ./internal/experiments/"
 go test -race -run 'TestSweepDeterminismAcrossConcurrency' ./internal/experiments/
+
+# The differential-oracle corpus gate: every fixed scenario must agree
+# across the closed forms, the rational solver, the float fluid solver,
+# and the packet simulator, with the metamorphic relations (relabeling,
+# scaling, clique symmetry, fail→repair, Workers 1-vs-k) holding under
+# the race detector. Budgeted random fuzzing lives in scripts/fuzz.sh.
+echo "== go test -race -run 'TestOracleCorpus' ./internal/oracle/"
+go test -race -run 'TestOracleCorpus' ./internal/oracle/
 
 echo "== go test -race ./..."
 go test -race ./...

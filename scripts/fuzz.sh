@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# fuzz.sh runs the budgeted differential/metamorphic fuzzing pass
+# (internal/oracle) on top of the fixed-corpus gate in ci.sh.
+#
+#   ./scripts/fuzz.sh                 # default budget: 256 scenarios or 300s
+#   ./scripts/fuzz.sh 1024 1800       # up to 1024 scenarios, 30-minute cap
+#   FUZZ_SEED=42 ./scripts/fuzz.sh    # pin the scenario stream
+#
+# Each random scenario cross-checks the closed-form model, the exact
+# rational solver, the float fluid solver, and the packet simulator,
+# plus the metamorphic relations (relabeling, demand scaling, clique
+# symmetry, zero-window fail→repair, Workers 1-vs-k bit-identity).
+# Every scenario derives from its own split RNG stream, so a failure
+# here exits nonzero and prints one-line reproducer specs that replay
+# standalone:
+#
+#   go run ./cmd/sornsim -selfcheck -spec "design=... seed=..."
+#
+# The default seed varies per run (wall clock) so repeated local runs
+# explore new scenarios; CI should pin FUZZ_SEED for reproducible logs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+iters="${1:-256}"
+seconds="${2:-300}"
+seed="${FUZZ_SEED:-$(date +%s)}"
+
+echo "== oracle fuzz: up to $iters scenarios, ${seconds}s budget, seed $seed"
+go run ./cmd/sornsim -selfcheck -fuzziters "$iters" -fuzzseconds "$seconds" -seed "$seed"
