@@ -36,6 +36,15 @@ import (
 var benchSweepFresh = flag.Bool("benchsweepfresh", false,
 	"allocate a fresh simulator per sweep point instead of reusing pooled ones")
 
+// benchDense runs the sweep benchmarks' simulations on netsim's dense
+// reference engine instead of the default active-set engine, so the
+// ci.sh dense-vs-active gate can price the two on one machine:
+//
+//	go test -run NONE -bench Fig2fSweepQuick             # active-set
+//	go test -run NONE -bench Fig2fSweepQuick -benchdense # dense oracle
+var benchDense = flag.Bool("benchdense", false,
+	"run simulations on the dense reference engine instead of the active-set engine")
+
 // reportSweepMetrics records the ledger metadata benchjson renders for
 // sweep benchmarks: the point count and the wall-clock cost per point.
 func reportSweepMetrics(b *testing.B, points int) {
@@ -179,6 +188,7 @@ func BenchmarkFigure2fSimulated(b *testing.B) {
 func BenchmarkFig2fSweep(b *testing.B) {
 	cfg := experiments.DefaultFig2fConfig()
 	cfg.NoSimReuse = *benchSweepFresh
+	cfg.Dense = *benchDense
 	var pts []experiments.Fig2fPoint
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -201,6 +211,7 @@ func BenchmarkFig2fSweepQuick(b *testing.B) {
 	cfg.WarmupSlots, cfg.MeasureSlots = 1500, 1500
 	cfg.SizeCap = 512
 	cfg.NoSimReuse = *benchSweepFresh
+	cfg.Dense = *benchDense
 	var pts []experiments.Fig2fPoint
 	for i := 0; i < b.N; i++ {
 		var err error

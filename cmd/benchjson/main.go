@@ -167,6 +167,7 @@ func (p printer) ln(args ...any)               { _, _ = fmt.Fprintln(p.w, args..
 // from compareMain so the output format is unit-testable.
 func compareRuns(w, errw io.Writer, a, b *Run) int {
 	out, eout := printer{w}, printer{errw}
+	warnEnvMismatch(eout, a, b)
 	// The suite's composition changes across PRs (benchmarks are added
 	// and retired), so the gate judges only benchmarks present in both
 	// runs; composition changes are reported explicitly instead of
@@ -237,6 +238,33 @@ func compareRuns(w, errw io.Writer, a, b *Run) int {
 		return 1
 	}
 	return 0
+}
+
+// warnEnvMismatch prints a loud warning when the two runs were recorded
+// under different hardware or parallelism (the ledger already mixes
+// 2.70GHz and 2.10GHz entries from earlier PRs): their wall-clock
+// numbers are not comparable, and a cross-host "speedup" or
+// "regression" is an artifact of the move, not of the code. The compare
+// still runs — the table is often still wanted — but the exit-code gate
+// should not be trusted across such a boundary, so the warning is
+// unmissable on stderr. Fields one side simply did not record (empty
+// CPU, zero GOMAXPROCS in old entries) are not treated as mismatches.
+func warnEnvMismatch(eout printer, a, b *Run) {
+	var lines []string
+	if a.CPU != "" && b.CPU != "" && a.CPU != b.CPU {
+		lines = append(lines, fmt.Sprintf("cpu: %q vs %q", a.CPU, b.CPU))
+	}
+	if a.GOMAXPROCS != 0 && b.GOMAXPROCS != 0 && a.GOMAXPROCS != b.GOMAXPROCS {
+		lines = append(lines, fmt.Sprintf("gomaxprocs: %d vs %d", a.GOMAXPROCS, b.GOMAXPROCS))
+	}
+	if len(lines) == 0 {
+		return
+	}
+	eout.f("benchjson: WARNING: %q and %q were recorded under different environments:\n", a.Label, b.Label)
+	for _, l := range lines {
+		eout.f("benchjson: WARNING:   %s\n", l)
+	}
+	eout.ln("benchjson: WARNING: wall-clock deltas between these entries are not meaningful")
 }
 
 // sweepDetail renders the wall-clock/point-count metadata that sweep

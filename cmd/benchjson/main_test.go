@@ -135,3 +135,56 @@ func TestCompareSweepMetadata(t *testing.T) {
 		t.Errorf("%d sweep metadata lines, want 1:\n%s", n, text)
 	}
 }
+
+// TestCompareWarnsOnEnvMismatch: entries recorded under different CPUs
+// or GOMAXPROCS get a loud stderr warning — the ledger spans hosts and
+// a cross-host delta is noise — but the warning never changes the exit
+// code, in either direction.
+func TestCompareWarnsOnEnvMismatch(t *testing.T) {
+	mk := func(cpu string, procs int, ns float64) *Run {
+		return &Run{Label: "r-" + cpu, CPU: cpu, GOMAXPROCS: procs,
+			Bench: map[string]*Bench{"BenchmarkStep": {NsPerOp: ns}}}
+	}
+	t.Run("cpu-and-procs-differ", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if got := compareRuns(&out, &errOut, mk("2.70GHz", 1, 100), mk("2.10GHz", 8, 100)); got != 0 {
+			t.Fatalf("compareRuns = %d, want 0: a warning must not fail the gate", got)
+		}
+		text := errOut.String()
+		for _, want := range []string{"WARNING", "2.70GHz", "2.10GHz", "gomaxprocs: 1 vs 8", "not meaningful"} {
+			if !strings.Contains(text, want) {
+				t.Errorf("stderr missing %q:\n%s", want, text)
+			}
+		}
+	})
+	t.Run("regression-still-gates", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if got := compareRuns(&out, &errOut, mk("2.70GHz", 1, 100), mk("2.10GHz", 1, 200)); got != 1 {
+			t.Fatalf("compareRuns = %d, want 1: the warning must not mask a regression", got)
+		}
+		if !strings.Contains(errOut.String(), "WARNING") {
+			t.Errorf("stderr missing warning:\n%s", errOut.String())
+		}
+	})
+	t.Run("same-env-is-silent", func(t *testing.T) {
+		var out, errOut strings.Builder
+		if got := compareRuns(&out, &errOut, mk("2.10GHz", 4, 100), mk("2.10GHz", 4, 100)); got != 0 {
+			t.Fatalf("compareRuns = %d, want 0", got)
+		}
+		if strings.Contains(errOut.String(), "WARNING") {
+			t.Errorf("unexpected warning for identical environments:\n%s", errOut.String())
+		}
+	})
+	t.Run("unrecorded-fields-do-not-warn", func(t *testing.T) {
+		// Early ledger entries predate the gomaxprocs/cpu fields; absence
+		// is unknown, not different.
+		a := mk("", 0, 100)
+		var out, errOut strings.Builder
+		if got := compareRuns(&out, &errOut, a, mk("2.10GHz", 4, 100)); got != 0 {
+			t.Fatalf("compareRuns = %d, want 0", got)
+		}
+		if strings.Contains(errOut.String(), "WARNING") {
+			t.Errorf("unexpected warning when one side did not record env:\n%s", errOut.String())
+		}
+	})
+}

@@ -137,6 +137,7 @@ func (p *SimPool) Acquire(w int, nw *Network, opts SimOptions) (*netsim.Sim, err
 		Planes:             opts.Planes,
 		Workers:            opts.Workers,
 		Obs:                opts.Obs,
+		Dense:              opts.Dense,
 	}
 	if s := p.sims[w]; s != nil && s.N() == nw.Schedule.N {
 		if err := s.Reset(cfg); err != nil {

@@ -129,6 +129,10 @@ type SimOptions struct {
 	// series, phase timing, event trace). nil disables it; enabling it
 	// never changes simulation results.
 	Obs *obs.Observer
+	// Dense selects netsim's dense reference engine instead of the
+	// default active-set engine (bit-identical results; see
+	// netsim.Config.Dense).
+	Dense bool
 }
 
 func (o SimOptions) withDefaults() SimOptions {
@@ -166,6 +170,7 @@ func (nw *Network) NewSim(opts SimOptions) (*netsim.Sim, error) {
 		Planes:             opts.Planes,
 		Workers:            opts.Workers,
 		Obs:                opts.Obs,
+		Dense:              opts.Dense,
 	})
 }
 

@@ -50,6 +50,10 @@ type AvailabilityConfig struct {
 	// Obs, when non-nil, captures both runs' metric series and the
 	// fault/fallback/recovery event trace.
 	Obs *obs.Observer
+	// Dense runs both designs on netsim's dense reference engine instead
+	// of the default active-set engine (bit-identical results; disables
+	// quiescence fast-forward).
+	Dense bool
 }
 
 func (cfg AvailabilityConfig) withDefaults() AvailabilityConfig {
@@ -194,6 +198,7 @@ func runAvailability(cfg AvailabilityConfig, simWorkers int, nw *core.Network, t
 	}
 	sim, err := nw.NewSim(core.SimOptions{
 		Seed: cfg.Seed, Workers: simWorkers, LatencySampleEvery: 16, Obs: cfg.Obs,
+		Dense: cfg.Dense,
 	})
 	if err != nil {
 		return nil, netsim.Stats{}, err
@@ -257,6 +262,29 @@ func runAvailability(cfg AvailabilityConfig, simWorkers int, nw *core.Network, t
 			}
 			out = append(out, w)
 			prev = cur
+		}
+		// Once the fabric drains, nothing can happen before the next
+		// arrival, fault event, control epoch, or window-report slot —
+		// quiescent windows still report (zero throughput, zero
+		// backlog), so report boundaries cap the skip. FastForwardTo
+		// checks quiescence itself and no-ops under cfg.Dense.
+		target := cfg.Slots - 1
+		if fs, ok := drv.NextSlot(); ok && fs < target {
+			target = fs
+		}
+		if next < len(flows) && flows[next].Arrival < target {
+			target = flows[next].Arrival
+		}
+		if resil != nil {
+			if ep := (slot/cfg.EpochSlots + 1) * cfg.EpochSlots; ep < target {
+				target = ep
+			}
+		}
+		if rp := ((slot+1)/cfg.Window+1)*cfg.Window - 1; rp < target {
+			target = rp
+		}
+		if sim.FastForwardTo(target) > 0 {
+			slot = sim.Slot() - 1
 		}
 	}
 	return out, *sim.Stats(), nil

@@ -70,6 +70,10 @@ type Fig2fConfig struct {
 	// point, snapshotting the metric series every ObsEvery slots; each
 	// point's capture is returned in Fig2fPoint.Obs.
 	ObsEvery int64
+	// Dense runs every simulated point on netsim's dense reference engine
+	// instead of the default active-set engine — an A/B knob for
+	// benchmarking; results are bit-identical either way.
+	Dense bool
 }
 
 // DefaultFig2fConfig is the paper's setup: 128 nodes, 8 cliques,
@@ -145,6 +149,7 @@ func fig2fPoint(cfg Fig2fConfig, sw sweep.Config, points int, x float64, size wo
 			TargetBacklog: cfg.Backlog,
 			Workers:       sw.SimWorkers(points, cfg.Workers),
 			Obs:           pt.Obs,
+			Dense:         cfg.Dense,
 		}
 		var st *netsim.Stats
 		if cfg.NoSimReuse {

@@ -287,6 +287,16 @@ func (d *Driver) Advance(t Target, slot int64) int {
 // Done reports whether every event has been applied.
 func (d *Driver) Done() bool { return d.next == len(d.plan.events) }
 
+// NextSlot returns the slot of the next unapplied event, so a driver
+// loop over a quiescent simulator can fast-forward to it instead of
+// polling Advance every slot. ok is false once the plan is exhausted.
+func (d *Driver) NextSlot() (slot int64, ok bool) {
+	if d.next >= len(d.plan.events) {
+		return 0, false
+	}
+	return d.plan.events[d.next].Slot, true
+}
+
 // ParseSpec parses the CLI fault-plan grammar into a plan over n nodes.
 // Entries are ';'-separated:
 //

@@ -224,3 +224,26 @@ func TestParseSpecErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestDriverNextSlot(t *testing.T) {
+	p, err := New(8, Outage(3, -1, 5, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(p)
+	if s, ok := d.NextSlot(); !ok || s != 5 {
+		t.Fatalf("fresh driver NextSlot = %d, %v; want 5, true", s, ok)
+	}
+	ft := &fakeTarget{}
+	d.Advance(ft, 5)
+	if s, ok := d.NextSlot(); !ok || s != 20 {
+		t.Fatalf("after fail applied NextSlot = %d, %v; want 20, true", s, ok)
+	}
+	d.Advance(ft, 20)
+	if _, ok := d.NextSlot(); ok {
+		t.Fatal("exhausted driver still reports a next slot")
+	}
+	if !d.Done() {
+		t.Fatal("driver not done after all events applied")
+	}
+}

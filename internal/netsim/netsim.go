@@ -31,6 +31,7 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"slices"
 	"sync"
@@ -86,6 +87,15 @@ type Config struct {
 	// costs the hot path one predictable branch per slot phase, and an
 	// enabled observer never perturbs Stats (see TestObsNonPerturbation).
 	Obs *obs.Observer
+	// Dense selects the dense reference engine: transmit scans every
+	// (source, plane) slot and landing scans every (destination, plane)
+	// ring entry each slot, and quiescence fast-forward is disabled. The
+	// default active-set engine iterates only occupied entries and is
+	// bit-identical to the dense scan (the equivalence is pinned by
+	// TestDenseActiveEquivalence* and gated in ci.sh); the dense engine
+	// is kept as that oracle and as the A/B baseline behind the CLIs'
+	// -dense flag.
+	Dense bool
 }
 
 // FlowState tracks one flow through the simulator.
@@ -309,12 +319,94 @@ type flowLoss struct {
 //sornlint:staged
 type shard struct {
 	lo, hi   int
+	idx      int           // position in Sim.shards (identifies the shard to phase bodies)
 	routeBuf routing.Route // scratch for landing-time reroutes
 	stats    Stats         // staged counter/sample deltas
 	losses   []flowLoss    // staged FlowState.lost increments
 	dirty    []int32       // staged per-pair saturation worklist entries
 	landed   int32         // cells this shard wrote into the delay line this slot
-	events   []obs.Event   // staged trace events, drained in shard order
+	dBacklog int64         // staged Sim.totalBacklog delta
+	// landedIdx stages the delay-line indices this shard wrote this
+	// slot (active engine only); stageArrivals drains it at the merge
+	// barrier into the landing shards' arrival lists.
+	landedIdx []int32
+	events    []obs.Event // staged trace events, drained in shard order
+}
+
+// circuitSet records which directed circuits a schedule ever opens —
+// the landing phase's "does this cell's next circuit still exist" check
+// after a reconfiguration. Small simulations keep the O(1) n² bitmap;
+// past denseCircuitMax nodes that bitmap alone would rival the rest of
+// the simulator's footprint, so only the per-source sorted neighbor
+// lists are kept and lookups binary-search them (schedules are sparse:
+// a node's circuit degree is the period × planes at most, typically
+// tens). The neighbor lists always exist — ReconfigureGraceful walks
+// them to find removed circuits in O(n·degree) instead of O(n²).
+type circuitSet struct {
+	n     int
+	nbr   [][]int16 // per-source sorted distinct circuit partners
+	dense []bool    // u*n+v bitmap; nil when n > denseCircuitMax
+}
+
+// denseCircuitMax bounds the n² circuit bitmap (1024 nodes = 1 MiB);
+// larger simulations fall back to binary-searched neighbor lists.
+const denseCircuitMax = 1024
+
+func newCircuitSet(sched *matching.Schedule) *circuitSet {
+	n := sched.N
+	cs := &circuitSet{n: n, nbr: make([][]int16, n)}
+	if n <= denseCircuitMax {
+		cs.dense = make([]bool, n*n)
+		for _, row := range sched.Slots {
+			for u, v := range row {
+				cs.dense[u*n+v] = true
+			}
+		}
+		for u := 0; u < n; u++ {
+			rowd := cs.dense[u*n : u*n+n]
+			deg := 0
+			for _, b := range rowd {
+				if b {
+					deg++
+				}
+			}
+			lst := make([]int16, 0, deg)
+			for v, b := range rowd {
+				if b {
+					lst = append(lst, int16(v))
+				}
+			}
+			cs.nbr[u] = lst
+		}
+		return cs
+	}
+	for _, row := range sched.Slots {
+		for u, v := range row {
+			cs.nbr[u] = append(cs.nbr[u], int16(v))
+		}
+	}
+	for u := range cs.nbr {
+		slices.Sort(cs.nbr[u])
+		cs.nbr[u] = slices.Compact(cs.nbr[u])
+	}
+	return cs
+}
+
+// has reports whether the schedule ever circuits u→v. The bitmap branch
+// is the landing hot path; the sparse lookup is split out so has stays
+// within its callers' inlining budget.
+//
+//sornlint:hotpath
+func (cs *circuitSet) has(u, v int) bool {
+	if cs.dense != nil {
+		return cs.dense[u*cs.n+v]
+	}
+	return cs.hasSparse(u, v)
+}
+
+func (cs *circuitSet) hasSparse(u, v int) bool {
+	_, ok := slices.BinarySearch(cs.nbr[u], int16(v))
+	return ok
 }
 
 // Sim is a running simulation. Create with New, drive with Step/Run
@@ -345,15 +437,30 @@ type Sim struct {
 	// pair): a shard touches only entries of nodes it owns, so phase-time
 	// writes are race-free by partition — staged in the
 	// one-writer-per-entry sense, not via a merge buffer.
-	voq     []fifo  // n*n queues, index u*n+next
-	backlog []int64 //sornlint:staged
-	fresh   []int64 //sornlint:staged
+	//
+	// VOQ rows are allocated lazily, the first time a cell queues at the
+	// row's node, so memory scales with the nodes that actually carry
+	// traffic instead of always paying n² queue headers (at 2048 nodes
+	// the flat layout cost ~100 MiB before a single cell moved). A nil
+	// row means "all of u's queues are empty". Rows are only created by
+	// u's owning shard (landing pushes by destination ownership) or from
+	// serial contexts, so the lazy write is race-free by the same
+	// partition argument as the queues themselves.
+	voq     [][]fifo //sornlint:staged -- rows indexed [u][next], nil row = empty; one writer per row (u's owning shard), see above
+	backlog []int64  //sornlint:staged
+	fresh   []int64  //sornlint:staged
+
+	// totalBacklog tracks the queued-cell total incrementally — staged
+	// through shard.dBacklog during parallel phases — so Backlog() is
+	// O(1). The quiescence fast-forward consults it every open-loop slot.
+	totalBacklog int64
 
 	// freshPair counts never-transmitted cells per (src,dst) pair. Only
-	// per-pair saturation reads it, so it is maintained only while
-	// trackPairs is set (a random write into an n²-sized array per
-	// consumed cell is pure overhead otherwise) and rebuilt from the
-	// queued cells when a per-pair run starts.
+	// per-pair saturation reads it, so it is allocated lazily by the
+	// first per-pair run, maintained only while trackPairs is set (a
+	// random write into an n²-sized array per consumed cell is pure
+	// overhead otherwise), and rebuilt from the queued cells when a
+	// per-pair run starts.
 	freshPair []int64 //sornlint:staged
 
 	// The delay line is direct-mapped: within a slot each plane's
@@ -370,8 +477,51 @@ type Sim struct {
 	// that ring slot, so a slot with nothing arriving skips the
 	// n×planes occupancy scan — most steps of a draining or lightly
 	// loaded run. Written only between phase barriers (or by the
-	// single serial writer), read by the landing phase.
+	// single serial writer), read by the landing phase. Maintained by
+	// both engines; InFlight() sums it in O(ringSlots).
 	ringCount []int32
+
+	// Active-set engine state (Config.Dense false). activeSrc[i] is
+	// shard i's unordered list of sources with queued cells; srcPos
+	// gives each node's position in its shard's list (-1 when absent)
+	// for O(1) swap-removal, and shardOf maps a node to its owning
+	// shard. liveShard[i] counts shard i's non-failed nodes and
+	// failedCount the failed total, keeping idle-slot accounting and the
+	// quiescence fast-forward O(1). A shard only appends nodes it owns
+	// (landing-phase activations) and transmit only removes its own
+	// drained sources, so the lists are race-free by partition.
+	activeSrc [][]int32 //sornlint:staged
+	srcPos    []int32   //sornlint:staged
+	shardOf   []int32
+	liveShard []int64
+
+	failedCount int
+
+	// arrivals[r*Workers + i] stages the delay-line indices shard i must
+	// land when ring slot r comes due: filled at transmit time (staged
+	// per transmit shard, routed to landing shards at the merge barrier
+	// by stageArrivals) and consumed in ascending index order — which is
+	// exactly the dense scan's (node, plane) landing order, so the two
+	// engines stay bit-identical. landScan[r] switches ring slot r to
+	// the dense occupancy scan when at least landScanThreshold cells
+	// landed there, so saturated slots pay the flat scan instead of
+	// sort+list overhead on top of a mostly-full ring row.
+	arrivals          [][]int32 //sornlint:staged
+	landScan          []bool
+	landScanThreshold int32
+	// stageSkip predicts, before transmit runs, that this slot's ring
+	// row will cross landScanThreshold and fall back to the dense
+	// occupancy scan anyway: the active-source count times planes bounds
+	// the cells that can transmit this slot, and that count is fixed at
+	// the land/transmit barrier. When set, transmit shards skip staging
+	// arrival indices entirely — saturated slots otherwise pay one
+	// append per cell just to have stageArrivals discard the lists. The
+	// predicate depends only on the active-source set (backlog > 0),
+	// which is identical across worker counts, so the skip decision is
+	// sharding-invariant. Written serially in Step, read-only in the
+	// transmit phase.
+	stageSkip bool
+	dense     bool
 
 	routeBuf routing.Route
 
@@ -393,11 +543,15 @@ type Sim struct {
 	shards    []shard
 	matchRows [][]int // per-plane matching of the current slot
 
-	measuring  bool
-	stats      Stats
-	hasCircuit []bool // u*n+v: schedule ever circuits u→v
+	measuring bool
+	stats     Stats
+	circuits  *circuitSet // which u→v circuits the schedule ever opens
 
-	failedLink []bool // u*n+v circuits that drop transmissions; nil until FailLink
+	// failedLink rows are lazily allocated like VOQ rows: a nil outer
+	// slice until the first FailLink (the fault-free fast path keeps a
+	// single nil check per transmit shard), then nil rows for sources
+	// with no failed outgoing links.
+	failedLink [][]bool
 	failedNode []bool
 
 	// stepping guards the failure-injection contract: FailLink/FailNode
@@ -490,9 +644,9 @@ func (s *Sim) init(cfg Config) error {
 	prop := (cfg.PropNS + cfg.SlotNS - 1) / cfg.SlotNS
 
 	reuse := s.n == n
-	// hasCircuit depends only on the schedule; a pooled sweep resetting
-	// to the same cached schedule skips the O(n²) recomputation.
-	sameSched := reuse && s.sched == cfg.Schedule && s.hasCircuit != nil
+	// The circuit set depends only on the schedule; a pooled sweep
+	// resetting to the same cached schedule skips the recomputation.
+	sameSched := reuse && s.sched == cfg.Schedule && s.circuits != nil
 
 	s.cfg = cfg
 	s.n = n
@@ -504,23 +658,30 @@ func (s *Sim) init(cfg Config) error {
 	s.rng = rng.New(cfg.Seed)
 
 	if reuse {
-		for i := range s.voq {
-			s.voq[i].head, s.voq[i].tail = 0, 0
+		// Rewind allocated VOQ rows in place (a nil row is already the
+		// empty state a fresh Sim would present).
+		for _, row := range s.voq {
+			for i := range row {
+				row[i].head, row[i].tail = 0, 0
+			}
 		}
 		clear(s.backlog)
 		clear(s.fresh)
 		clear(s.freshPair)
 		clear(s.failedNode)
 	} else {
-		s.voq = make([]fifo, n*n)
+		s.voq = newVOQ(n)
 		s.backlog = make([]int64, n)
 		s.fresh = make([]int64, n)
-		s.freshPair = make([]int64, n*n)
+		s.freshPair = nil // allocated lazily by the first per-pair saturation run
 		s.failedNode = make([]bool, n)
 		s.latRngs = make([]rng.RNG, n)
 		s.nodeRngs = make([]rng.RNG, n)
 		s.flows = nil
 	}
+	s.totalBacklog = 0
+	s.failedCount = 0
+	s.dense = cfg.Dense
 	// The xor constants just decorrelate the stream roots from the
 	// workload seed; splitmix64 inside rng.New takes care of the rest.
 	// Each root is split serially into one stream per node.
@@ -532,6 +693,11 @@ func (s *Sim) init(cfg Config) error {
 	}
 
 	rs := int(prop) + 1
+	if int64(rs)*int64(n)*int64(cfg.Planes) > math.MaxInt32 {
+		// The active engine stages delay-line indices as int32s; a ring
+		// this large would need ~50 GiB of cells anyway.
+		return fmt.Errorf("netsim: delay ring of %d slots × %d nodes × %d planes exceeds int32 indexing", rs, n, cfg.Planes)
+	}
 	if reuse && len(s.ringCells) == rs*n*cfg.Planes {
 		s.ringSlots = rs
 		clear(s.ringOcc)
@@ -554,7 +720,7 @@ func (s *Sim) init(cfg Config) error {
 	s.failedLink = nil
 
 	if !sameSched {
-		s.hasCircuit = matching.CircuitSet(cfg.Schedule)
+		s.circuits = newCircuitSet(cfg.Schedule)
 	}
 	s.stats = Stats{Planes: cfg.Planes}
 	s.measuring = false
@@ -579,9 +745,12 @@ func (s *Sim) init(cfg Config) error {
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
+		sh.idx = i
 		sh.lo = i * n / cfg.Workers
 		sh.hi = (i + 1) * n / cfg.Workers
 		sh.landed = 0
+		sh.dBacklog = 0
+		sh.landedIdx = sh.landedIdx[:0]
 		sh.losses = sh.losses[:0]
 		sh.dirty = sh.dirty[:0]
 		sh.events = sh.events[:0]
@@ -590,6 +759,46 @@ func (s *Sim) init(cfg Config) error {
 		// counters the same way mergeFrom does, keeping that capacity.
 		sh.stats = Stats{Planes: sh.stats.Planes,
 			LatencySlots: sh.stats.LatencySlots, FCTSlots: sh.stats.FCTSlots, LatencyByHops: sh.stats.LatencyByHops}
+	}
+
+	// Active-set state: no source active, per-shard live counts full,
+	// all arrival staging empty. Allocated even for a dense run — a
+	// Reset may switch engines — but sized by (n, Workers, ring)
+	// geometry, which is tiny next to the queues.
+	if len(s.shardOf) != n {
+		s.shardOf = make([]int32, n)
+		s.srcPos = make([]int32, n)
+	}
+	for i := range s.srcPos {
+		s.srcPos[i] = -1
+	}
+	if len(s.activeSrc) != cfg.Workers {
+		s.activeSrc = make([][]int32, cfg.Workers)
+		s.liveShard = make([]int64, cfg.Workers)
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.activeSrc[i] = s.activeSrc[i][:0]
+		s.liveShard[i] = int64(sh.hi - sh.lo)
+		for u := sh.lo; u < sh.hi; u++ {
+			s.shardOf[u] = int32(i)
+		}
+	}
+	if len(s.arrivals) != rs*cfg.Workers {
+		s.arrivals = make([][]int32, rs*cfg.Workers)
+	} else {
+		for i := range s.arrivals {
+			s.arrivals[i] = s.arrivals[i][:0]
+		}
+	}
+	if len(s.landScan) != rs {
+		s.landScan = make([]bool, rs)
+	} else {
+		clear(s.landScan)
+	}
+	s.landScanThreshold = int32(n * cfg.Planes / 4)
+	if s.landScanThreshold < 8 {
+		s.landScanThreshold = 8
 	}
 
 	s.obs, s.om, s.traceFlows = nil, nil, false
@@ -668,24 +877,20 @@ func (s *Sim) eachFlow(fn func(*FlowState)) {
 	}
 }
 
-// Backlog returns the total number of queued cells.
-func (s *Sim) Backlog() int64 {
-	total := int64(0)
-	for _, b := range s.backlog {
-		total += b
-	}
-	return total
-}
+// Backlog returns the total number of queued cells. The total is
+// maintained incrementally (staged per shard during parallel phases and
+// folded at the slot barrier), so the call is O(1) — cheap enough for a
+// driver loop to consult every slot.
+func (s *Sim) Backlog() int64 { return s.totalBacklog }
 
-// InFlight returns the number of cells currently propagating on links.
+// InFlight returns the number of cells currently propagating on links,
+// summed from the per-ring-slot occupancy counts in O(ringSlots).
 func (s *Sim) InFlight() int {
-	total := 0
-	for _, occ := range s.ringOcc {
-		if occ {
-			total++
-		}
+	total := int32(0)
+	for _, c := range s.ringCount {
+		total += c
 	}
-	return total
+	return int(total)
 }
 
 // Drained reports whether no cells remain queued or in flight.
@@ -709,15 +914,23 @@ func (s *Sim) failGuard() {
 }
 
 // FailLink makes the circuit u→v drop every transmission. The failure
-// bitmap is allocated lazily so fault-free simulations (the common case)
-// skip the per-transmission lookup entirely; see failGuard for why the
-// lazy allocation is safe mid-run. Call between Steps only.
+// rows are allocated lazily — the outer slice on the first FailLink,
+// each source's row on its first failed link — so fault-free
+// simulations (the common case) skip the per-transmission lookup
+// entirely and faulty large-N runs pay only for sources that actually
+// failed; see failGuard for why the lazy allocation is safe mid-run.
+// Call between Steps only.
 func (s *Sim) FailLink(u, v int) {
 	s.failGuard()
 	if s.failedLink == nil {
-		s.failedLink = make([]bool, s.n*s.n)
+		s.failedLink = make([][]bool, s.n)
 	}
-	s.failedLink[u*s.n+v] = true
+	row := s.failedLink[u]
+	if row == nil {
+		row = make([]bool, s.n)
+		s.failedLink[u] = row
+	}
+	row[v] = true
 	if s.obs != nil {
 		s.obs.Emit(obs.Event{Slot: s.slot, Type: obs.EvFailLink, Src: u, Dst: v})
 	}
@@ -735,22 +948,28 @@ func (s *Sim) FailNode(u int) {
 		return
 	}
 	s.failedNode[u] = true
+	s.failedCount++
+	s.liveShard[s.shardOf[u]]--
 	purged := int64(0)
-	for v := 0; v < s.n; v++ {
-		q := &s.voq[u*s.n+v]
-		for {
-			c, ok := q.pop()
-			if !ok {
-				break
+	if row := s.voq[u]; row != nil {
+		for v := range row {
+			q := &row[v]
+			for {
+				c, ok := q.pop()
+				if !ok {
+					break
+				}
+				if c.fresh {
+					s.noteFreshConsumed(nil, u, c.dst())
+				}
+				s.flow(c.flow).lost++
+				purged++
 			}
-			if c.fresh {
-				s.noteFreshConsumed(nil, u, c.dst())
-			}
-			s.flow(c.flow).lost++
-			purged++
 		}
 	}
 	s.backlog[u] -= purged
+	s.totalBacklog -= purged
+	s.deactivateSrc(u)
 	if s.measuring {
 		s.stats.LostCells += purged
 	}
@@ -767,10 +986,10 @@ func (s *Sim) FailNode(u int) {
 // only — the same contract as FailLink (see failGuard).
 func (s *Sim) RepairLink(u, v int) {
 	s.failGuard()
-	if s.failedLink == nil || !s.failedLink[u*s.n+v] {
+	if s.failedLink == nil || s.failedLink[u] == nil || !s.failedLink[u][v] {
 		return
 	}
-	s.failedLink[u*s.n+v] = false
+	s.failedLink[u][v] = false
 	if s.obs != nil {
 		s.obs.Emit(obs.Event{Slot: s.slot, Type: obs.EvRepairLink, Src: u, Dst: v})
 	}
@@ -790,6 +1009,8 @@ func (s *Sim) RepairNode(u int) {
 		return
 	}
 	s.failedNode[u] = false
+	s.failedCount--
+	s.liveShard[s.shardOf[u]]++
 	if s.obs != nil {
 		s.obs.Emit(obs.Event{Slot: s.slot, Type: obs.EvRepairNode, Src: u, Dst: -1})
 	}
@@ -867,10 +1088,16 @@ func (s *Sim) noteFreshConsumed(sh *shard, u, dst int) {
 // dropping it if the queue is at its limit. It is called from the
 // landing phase with that node's owning shard (accounting is staged),
 // and from serial contexts — injection, reconfiguration — with sh nil
-// (accounting is applied directly).
+// (accounting is applied directly). Only u's owning shard (or a serial
+// context) ever calls it, which is what makes the lazy row allocation
+// and the active-list append race-free.
 func (s *Sim) enqueue(sh *shard, u int, c *cell) {
 	next := int(c.waypoints[c.idx])
-	q := &s.voq[u*s.n+next]
+	row := s.voq[u]
+	if row == nil {
+		row = s.voqRow(u)
+	}
+	q := &row[next]
 	if s.cfg.QueueLimit > 0 && q.len() >= s.cfg.QueueLimit {
 		if c.fresh {
 			// Fresh cells are dropped only from serial contexts: a
@@ -892,6 +1119,91 @@ func (s *Sim) enqueue(sh *shard, u int, c *cell) {
 	}
 	q.push(c)
 	s.backlog[u]++
+	if sh != nil {
+		sh.dBacklog++
+	} else {
+		s.totalBacklog++
+	}
+	if !s.dense && s.backlog[u] == 1 {
+		s.activateSrc(u)
+	}
+}
+
+// voqSlabMax bounds the eager contiguous-slab VOQ layout: up to this
+// many nodes every row is a view into one n×n slab, so the saturated
+// transmit and landing scans walk contiguous memory exactly as the
+// pre-active-set flat table did. Above it, rows allocate lazily on a
+// node's first queued cell — at N ≥ 2048 eager rows were the dominant
+// allocation, and sparse large-N runs touch only a fraction of them.
+// Same threshold as circuitSet's bitmap-vs-neighbor-list switch.
+const voqSlabMax = 1024
+
+// newVOQ returns the empty VOQ table for n nodes: slab-backed row
+// views up to voqSlabMax (nothing is nil), lazily allocated rows
+// above (nil row = node never queued).
+func newVOQ(n int) [][]fifo {
+	voq := make([][]fifo, n)
+	if n <= voqSlabMax {
+		slab := make([]fifo, n*n)
+		for u := range voq {
+			voq[u] = slab[u*n : (u+1)*n : (u+1)*n]
+		}
+	}
+	return voq
+}
+
+// voqRow allocates node u's VOQ row on its first queued cell — the
+// deliberate once-per-node slow path of the lazy large-N layout
+// (small sims get slab rows from newVOQ and never reach it).
+//
+//sornlint:coldpath
+func (s *Sim) voqRow(u int) []fifo {
+	row := make([]fifo, s.n)
+	s.voq[u] = row
+	return row
+}
+
+// activateSrc adds u to its owning shard's active-source list when its
+// backlog becomes nonzero. A landing shard calls it only for nodes it
+// owns, so list writes are race-free by partition.
+//
+//sornlint:hotpath
+func (s *Sim) activateSrc(u int) {
+	if s.srcPos[u] >= 0 {
+		return
+	}
+	i := s.shardOf[u]
+	s.srcPos[u] = int32(len(s.activeSrc[i]))
+	s.activeSrc[i] = append(s.activeSrc[i], int32(u))
+}
+
+// deactivateSrc removes u from its shard's active list by swap-removal.
+// Serial contexts only (FailNode purges): the transmit phase removes
+// its own drained sources inline.
+func (s *Sim) deactivateSrc(u int) {
+	pos := s.srcPos[u]
+	if pos < 0 {
+		return
+	}
+	i := s.shardOf[u]
+	list := s.activeSrc[i]
+	last := len(list) - 1
+	moved := list[last]
+	list[pos] = moved
+	s.srcPos[moved] = pos // before clearing u: handles moved == u
+	s.srcPos[u] = -1
+	s.activeSrc[i] = list[:last]
+}
+
+// clearActive empties every shard's active list (Reconfigure rebuilds
+// the queues from scratch and re-activates sources as it re-enqueues).
+func (s *Sim) clearActive() {
+	for i := range s.activeSrc {
+		s.activeSrc[i] = s.activeSrc[i][:0]
+	}
+	for i := range s.srcPos {
+		s.srcPos[i] = -1
+	}
 }
 
 // phaseTimeSample is the phase wall-clock sampling interval: an
@@ -920,9 +1232,31 @@ func (s *Sim) Step() {
 		s.matchRows[p] = s.sched.Slots[(s.slot+s.offsets[p])%period]
 	}
 	timed := s.phaseTimed()
-	s.runPhase(obs.PhaseLand, timed, (*Sim).landShard)
-	s.ringCount[s.slot%int64(s.ringSlots)] = 0
-	s.runPhase(obs.PhaseTransmit, timed, (*Sim).transmitShard)
+	if s.dense {
+		s.runPhase(obs.PhaseLand, timed, (*Sim).landShardDense)
+	} else {
+		s.runPhase(obs.PhaseLand, timed, (*Sim).landShardActive)
+	}
+	cur := s.slot % int64(s.ringSlots)
+	s.ringCount[cur] = 0
+	s.landScan[cur] = false
+	if s.dense {
+		s.runPhase(obs.PhaseTransmit, timed, (*Sim).transmitShardDense)
+	} else {
+		// Active sources (backlog > 0) bound this slot's transmissions
+		// at active×planes; if that already crosses the land-scan
+		// threshold, the staged arrival lists would be discarded, so
+		// tell the transmit shards not to build them. Computed after
+		// the landing phase (which activates sources) and before
+		// transmit, serially — the set of active sources is identical
+		// across worker counts, so the decision is too.
+		active := 0
+		for i := range s.activeSrc {
+			active += len(s.activeSrc[i])
+		}
+		s.stageSkip = int32(active)*int32(s.planes) >= s.landScanThreshold
+		s.runPhase(obs.PhaseTransmit, timed, (*Sim).transmitShardActive)
+	}
 	if len(s.shards) > 1 {
 		if timed {
 			t0 := s.obs.Clock()
@@ -932,6 +1266,9 @@ func (s *Sim) Step() {
 			s.mergeShards()
 		}
 	}
+	if !s.dense {
+		s.stageArrivals()
+	}
 	if s.om != nil {
 		s.obsEndSlot()
 	}
@@ -940,6 +1277,84 @@ func (s *Sim) Step() {
 		s.stats.MeasuredSlots++
 	}
 	s.stepping = false
+}
+
+// stageArrivals routes this slot's transmissions to the landing shards
+// that will consume them, at the slot barrier in shard order. Serial
+// transmits append straight into the single landing list, so with one
+// worker only the threshold check remains. Ring slots holding at least
+// landScanThreshold cells switch to the dense occupancy scan — a
+// saturated slot fills most of the ring row anyway — and drop the
+// staged lists (usually already empty: Step predicts the crossing from
+// the active-source count and sets stageSkip so transmit never builds
+// them). Each ring slot is produced by exactly one Step and
+// consumed propSlots later, so no entry is ever written twice before
+// being drained.
+func (s *Sim) stageArrivals() {
+	landRS := int((s.slot + s.propSlots) % int64(s.ringSlots))
+	w := len(s.shards)
+	if s.stageSkip || s.ringCount[landRS] >= s.landScanThreshold {
+		s.landScan[landRS] = true
+		for i := 0; i < w; i++ {
+			s.arrivals[landRS*w+i] = s.arrivals[landRS*w+i][:0]
+		}
+		for i := range s.shards {
+			s.shards[i].landedIdx = s.shards[i].landedIdx[:0]
+		}
+		return
+	}
+	if w == 1 {
+		return // serial transmit staged directly into arrivals[landRS]
+	}
+	base := int32(landRS * s.n * s.planes)
+	planes := int32(s.planes)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for _, j := range sh.landedIdx {
+			v := (j - base) / planes
+			d := landRS*w + int(s.shardOf[v])
+			s.arrivals[d] = append(s.arrivals[d], j)
+		}
+		sh.landedIdx = sh.landedIdx[:0]
+	}
+}
+
+// FastForwardTo advances a quiescent simulator straight to slot target,
+// returning how many slots were skipped (0 when nothing could be
+// skipped). It is exact, not approximate: a quiescent Step — nothing
+// queued, nothing in flight — moves no cells, draws no rng, and touches
+// only the slot counter, the measurement window (MeasuredSlots plus one
+// idle slot per live node-plane), and the per-slot observability hook,
+// all of which are accounted here (see obsFastForward for the metric
+// series). Schedule rows, plane offsets, and ring indices are derived
+// from the slot counter at the next Step, so they need no adjustment.
+// The dense reference engine never fast-forwards — it is the per-slot
+// oracle — and a non-quiescent or mid-Step simulator is left untouched,
+// so drivers call this unconditionally with the next slot at which
+// anything is due: an arrival, a fault-plan event, a control epoch, a
+// report boundary. Only wall-clock phase timings can tell the
+// difference (skipped slots are never phase-timed); they are
+// deliberately outside the determinism contract.
+func (s *Sim) FastForwardTo(target int64) int64 {
+	if s.dense || s.stepping || target <= s.slot {
+		return 0
+	}
+	if s.totalBacklog != 0 || s.InFlight() != 0 {
+		return 0
+	}
+	skipped := target - s.slot
+	if s.om != nil {
+		s.obsFastForward(target)
+	}
+	if s.measuring {
+		s.stats.MeasuredSlots += skipped
+		// Every live node idles on all its planes in an empty slot —
+		// the same accounting the per-slot transmit phase would stage
+		// (a validated schedule has no self-circuits to exclude).
+		s.stats.IdleSlots += skipped * int64(s.n-s.failedCount) * int64(s.planes)
+	}
+	s.slot = target
+	return skipped
 }
 
 // runPhase executes one phase across all shards. Serial runs inline
@@ -995,6 +1410,8 @@ func (s *Sim) mergeShards() {
 		sh := &s.shards[i]
 		s.ringCount[landIdx] += sh.landed
 		sh.landed = 0
+		s.totalBacklog += sh.dBacklog
+		sh.dBacklog = 0
 		s.stats.mergeFrom(&sh.stats)
 		if len(sh.losses) > 0 {
 			for _, l := range sh.losses {
@@ -1015,19 +1432,31 @@ func (s *Sim) mergeShards() {
 	}
 }
 
-// landShard processes this slot's arrivals at destination nodes
-// [lo, hi), in (node, plane) order. It is a worker-phase body (writes
-// outside the shard's staged state are shardsafety violations) and the
-// per-cell hot loop (heap allocation is a hotalloc violation).
+// landShardDense processes this slot's arrivals at destination nodes
+// [lo, hi) by scanning every (node, plane) ring entry — the reference
+// engine's landing phase. It is a worker-phase body (writes outside the
+// shard's staged state are shardsafety violations) and the per-cell hot
+// loop (heap allocation is a hotalloc violation).
 //
 //sornlint:shardphase
 //sornlint:hotpath
-func (s *Sim) landShard(lo, hi int, sh *shard) {
-	cur := s.slot % int64(s.ringSlots)
+func (s *Sim) landShardDense(lo, hi int, sh *shard) {
+	cur := int(s.slot % int64(s.ringSlots))
 	if s.ringCount[cur] == 0 {
 		return
 	}
-	base := int(cur) * s.n * s.planes
+	s.landScanRange(cur, lo, hi, sh)
+}
+
+// landScanRange lands everything in ring slot cur addressed to [lo, hi),
+// in (node, plane) order — the canonical landing order both engines
+// produce. Shared by the dense engine and the active engine's
+// heavy-slot fallback.
+//
+//sornlint:shardphase
+//sornlint:hotpath
+func (s *Sim) landScanRange(cur, lo, hi int, sh *shard) {
+	base := cur * s.n * s.planes
 	off := base + lo*s.planes
 	for v := lo; v < hi; v++ {
 		for p := 0; p < s.planes; p++ {
@@ -1038,6 +1467,45 @@ func (s *Sim) landShard(lo, hi int, sh *shard) {
 			off++
 		}
 	}
+}
+
+// landShardActive lands this slot's arrivals from the staged per-shard
+// index lists: cost proportional to the cells actually landing, not to
+// n×planes. Delay-line indices are (node, plane)-major, so sorting the
+// list ascending reproduces exactly the dense scan's landing order and
+// keeps the engines bit-identical — including the per-node rng draws
+// and staged sample streams that depend on per-node event order. Ring
+// slots flagged landScan (≥ landScanThreshold cells) fall back to the
+// dense scan and have empty lists.
+//
+//sornlint:shardphase
+//sornlint:hotpath
+func (s *Sim) landShardActive(lo, hi int, sh *shard) {
+	cur := int(s.slot % int64(s.ringSlots))
+	if s.ringCount[cur] == 0 {
+		return
+	}
+	if s.landScan[cur] {
+		s.landScanRange(cur, lo, hi, sh)
+		return
+	}
+	i := 0
+	if sh != nil {
+		i = sh.idx
+	}
+	li := cur*len(s.shards) + i
+	lst := s.arrivals[li]
+	if len(lst) == 0 {
+		return
+	}
+	slices.Sort(lst)
+	base := cur * s.n * s.planes
+	for _, j := range lst {
+		jj := int(j)
+		s.ringOcc[jj] = false
+		s.land(sh, (jj-base)/s.planes, &s.ringCells[jj])
+	}
+	s.arrivals[li] = lst[:0]
 }
 
 // land processes a cell arriving at node v.
@@ -1065,7 +1533,7 @@ func (s *Sim) land(sh *shard, v int, c *cell) {
 	}
 	// After a reconfiguration, the cell's next circuit may no longer
 	// exist; re-route it from its landing node.
-	if !s.hasCircuit[v*s.n+int(c.waypoints[c.idx])] {
+	if !s.circuits.has(v, int(c.waypoints[c.idx])) {
 		s.rerouteFrom(sh, v, c)
 		return
 	}
@@ -1122,9 +1590,10 @@ func (s *Sim) emitEvent(sh *shard, e obs.Event) {
 	s.obs.Emit(e)
 }
 
-// transmitShard pops one cell per plane per source node in [lo, hi)
-// onto the node's active circuits, writing arrivals into the delay line
-// slot each destination owns.
+// transmitShardDense pops one cell per plane per source node in
+// [lo, hi) onto the node's active circuits, writing arrivals into the
+// delay line slot each destination owns — the reference engine's
+// transmit phase, scanning every (source, plane) pair.
 //
 // The loop is plane-major so the dominant single-plane case is one flat
 // pass over the match row. Unlike the landing phase, transmit order
@@ -1137,7 +1606,7 @@ func (s *Sim) emitEvent(sh *shard, e obs.Event) {
 //
 //sornlint:shardphase
 //sornlint:hotpath
-func (s *Sim) transmitShard(lo, hi int, sh *shard) {
+func (s *Sim) transmitShardDense(lo, hi int, sh *shard) {
 	n := s.n
 	st := &s.stats
 	if sh != nil {
@@ -1146,11 +1615,15 @@ func (s *Sim) transmitShard(lo, hi int, sh *shard) {
 	landBase := int((s.slot+s.propSlots)%int64(s.ringSlots)) * n * s.planes
 	landed := int32(0)
 	idle := int64(0)
+	dBacklog := int64(0)
 	measuring := s.measuring
 	planes := s.planes
 	rows := s.matchRows
 	voq := s.voq
+	backlog := s.backlog
 	failedNode := s.failedNode
+	failedLink := s.failedLink
+	hasFailedLink := failedLink != nil
 	for p := 0; p < planes; p++ {
 		row := rows[p]
 		for u := lo; u < hi; u++ {
@@ -1158,20 +1631,27 @@ func (s *Sim) transmitShard(lo, hi int, sh *shard) {
 				continue
 			}
 			v := row[u]
-			q := &voq[u*n+v]
-			c, ok := q.pop()
+			vq := voq[u]
+			if vq == nil {
+				// Never queued anything: idle on this circuit (a
+				// validated schedule has no self-circuits, so u != v).
+				idle++
+				continue
+			}
+			c, ok := vq[v].pop()
 			if !ok {
 				if u != v {
 					idle++
 				}
 				continue
 			}
-			s.backlog[u]--
+			backlog[u]--
+			dBacklog--
 			if c.fresh {
 				s.noteFreshConsumed(sh, u, c.dst())
 				c.fresh = false
 			}
-			if s.failedNode[v] || (s.failedLink != nil && s.failedLink[u*n+v]) {
+			if failedNode[v] || (hasFailedLink && failedLink[u] != nil && failedLink[u][v]) {
 				if sh != nil {
 					sh.losses = append(sh.losses, flowLoss{flow: c.flow, cells: 1})
 				} else {
@@ -1199,8 +1679,222 @@ func (s *Sim) transmitShard(lo, hi int, sh *shard) {
 	}
 	if sh != nil {
 		sh.landed = landed
+		sh.dBacklog += dBacklog
 	} else {
 		s.ringCount[(s.slot+s.propSlots)%int64(s.ringSlots)] += landed
+		s.totalBacklog += dBacklog
+	}
+}
+
+// transmitShardActive is the active-set transmit phase: instead of
+// scanning all of [lo, hi) per plane, it visits only the shard's
+// sources with queued cells, removing each from the list the moment it
+// drains. Per-slot cost is proportional to the active sources, so the
+// drained tail of an open-loop run — and every lightly loaded slot of a
+// sparse one — costs O(cells moved), not O(n).
+//
+// Equivalence with the dense scan: each active source still tries its
+// planes in ascending order, every non-list mutation is per-source,
+// commutative, uniquely addressed, or canonicalized downstream (see
+// transmitShardDense), and the idle total is computed by identity —
+// live sources × planes − successful pops — rather than counted, which
+// matches the dense count exactly because a validated schedule has no
+// self-circuits. List order is irrelevant to all of it.
+//
+//sornlint:shardphase
+//sornlint:hotpath
+func (s *Sim) transmitShardActive(lo, hi int, sh *shard) {
+	n := s.n
+	st := &s.stats
+	shIdx := 0
+	if sh != nil {
+		st = &sh.stats
+		shIdx = sh.idx
+	}
+	landRS := int((s.slot + s.propSlots) % int64(s.ringSlots))
+	landBase := landRS * n * s.planes
+	landed := int32(0)
+	pops := int64(0)
+	dBacklog := int64(0)
+	measuring := s.measuring
+	planes := s.planes
+	rows := s.matchRows
+	backlog := s.backlog
+	srcPos := s.srcPos
+	failedNode := s.failedNode
+	failedLink := s.failedLink
+	hasFailedLink := failedLink != nil
+	stage := s.arrivals[landRS] // serial: stage straight into the landing list
+	if sh != nil {
+		stage = sh.landedIdx
+	}
+	skipStage := s.stageSkip // Step already decided this row will dense-scan
+	list := s.activeSrc[shIdx]
+	if len(list)*2 >= hi-lo {
+		// Saturated shard: most of the node range is active, so the
+		// list buys nothing — switch to the dense engine's plane-major
+		// layout (hoisted match row, nodes visited in address order)
+		// and skip the few inactive sources via srcPos. Iteration
+		// layout carries no state (see transmitShardDense), so this is
+		// purely a memory-access-pattern choice; sources that drain
+		// are swept from the list after the scan instead of
+		// swap-removed mid-iteration, which changes only list order —
+		// never results.
+		voq := s.voq
+		// Full coverage means every node in [lo, hi) is active (failed
+		// nodes are never listed), so the membership probe vanishes in
+		// the steady saturated state.
+		checkPos := len(list) != hi-lo
+		drained := 0
+		for p := 0; p < planes; p++ {
+			row := rows[p]
+			for u := lo; u < hi; u++ {
+				if checkPos && srcPos[u] < 0 {
+					continue
+				}
+				v := row[u]
+				c, ok := voq[u][v].pop()
+				if !ok {
+					continue
+				}
+				pops++
+				nb := backlog[u] - 1
+				backlog[u] = nb
+				if nb == 0 {
+					drained++
+				}
+				dBacklog--
+				if c.fresh {
+					s.noteFreshConsumed(sh, u, c.dst())
+					c.fresh = false
+				}
+				if failedNode[v] || (hasFailedLink && failedLink[u] != nil && failedLink[u][v]) {
+					if sh != nil {
+						sh.losses = append(sh.losses, flowLoss{flow: c.flow, cells: 1})
+					} else {
+						s.flow(c.flow).lost++
+					}
+					if measuring {
+						st.LostCells++
+					}
+					continue
+				}
+				if measuring {
+					st.SentCells++
+				}
+				j := landBase + v*s.planes + p
+				s.ringCells[j] = *c
+				s.ringOcc[j] = true
+				if !skipStage {
+					stage = append(stage, int32(j))
+				}
+				landed++
+			}
+		}
+		// Transmit only ever decreases backlog (landing already ran),
+		// so the drain count taken during the scan is exact: in the
+		// steady saturated state it is zero and the sweep is skipped.
+		for k := 0; drained > 0 && k < len(list); {
+			u := list[k]
+			if backlog[u] == 0 {
+				drained--
+				last := len(list) - 1
+				moved := list[last]
+				list[k] = moved
+				srcPos[moved] = int32(k)
+				srcPos[u] = -1
+				list = list[:last]
+				continue
+			}
+			k++
+		}
+		s.activeSrc[shIdx] = list
+		if measuring {
+			st.IdleSlots += s.liveShard[shIdx]*int64(planes) - pops
+		}
+		if sh != nil {
+			sh.landed = landed
+			sh.landedIdx = stage
+			sh.dBacklog += dBacklog
+		} else {
+			s.arrivals[landRS] = stage
+			s.ringCount[landRS] += landed
+			s.totalBacklog += dBacklog
+		}
+		return
+	}
+	for k := 0; k < len(list); {
+		u := int(list[k])
+		// A failed node cannot be on the list — FailNode deactivates it
+		// and purges its queues — so no liveness check is needed here.
+		row := s.voq[u]
+		var flRow []bool
+		if hasFailedLink {
+			flRow = failedLink[u]
+		}
+		for p := 0; p < planes; p++ {
+			v := rows[p][u]
+			c, ok := row[v].pop()
+			if !ok {
+				continue
+			}
+			pops++
+			backlog[u]--
+			dBacklog--
+			if c.fresh {
+				s.noteFreshConsumed(sh, u, c.dst())
+				c.fresh = false
+			}
+			if failedNode[v] || (flRow != nil && flRow[v]) {
+				if sh != nil {
+					sh.losses = append(sh.losses, flowLoss{flow: c.flow, cells: 1})
+				} else {
+					s.flow(c.flow).lost++
+				}
+				if measuring {
+					st.LostCells++
+				}
+				continue
+			}
+			if measuring {
+				st.SentCells++
+			}
+			j := landBase + v*s.planes + p
+			s.ringCells[j] = *c
+			s.ringOcc[j] = true
+			if !skipStage {
+				stage = append(stage, int32(j))
+			}
+			landed++
+		}
+		if backlog[u] == 0 {
+			// Drained: swap-remove without advancing k (the moved entry
+			// now at k still needs its turn this slot).
+			last := len(list) - 1
+			moved := list[last]
+			list[k] = moved
+			srcPos[moved] = int32(k)
+			srcPos[u] = -1
+			list = list[:last]
+			continue
+		}
+		k++
+	}
+	s.activeSrc[shIdx] = list
+	if measuring {
+		// Idle by identity: every live (source, plane) pair either
+		// popped a cell or idled. pops counts transmit-time drops too —
+		// the dense scan counts those as non-idle as well.
+		st.IdleSlots += s.liveShard[shIdx]*int64(planes) - pops
+	}
+	if sh != nil {
+		sh.landed = landed
+		sh.landedIdx = stage
+		sh.dBacklog += dBacklog
+	} else {
+		s.arrivals[landRS] = stage
+		s.ringCount[landRS] += landed
+		s.totalBacklog += dBacklog
 	}
 }
 
@@ -1227,6 +1921,15 @@ func (s *Sim) RunOpenLoop(flows []workload.Flow, until int64) error {
 			s.obs.AddPhase(obs.PhaseInject, 0, t0)
 		}
 		s.Step()
+		// Nothing can happen before the next arrival (or the horizon)
+		// once the network drains; skip the empty slots in O(1).
+		// FastForwardTo checks quiescence itself and is disabled on the
+		// dense reference engine.
+		next := until
+		if i < len(flows) && flows[i].Arrival < next {
+			next = flows[i].Arrival
+		}
+		s.FastForwardTo(next)
 	}
 	return nil
 }
@@ -1315,14 +2018,21 @@ func (s *Sim) runSaturatedPerPair(sc SaturationConfig, measureAt, end int64) (*S
 	if s.dirtyMark == nil {
 		s.dirtyMark = make([]bool, s.n*s.n)
 	}
-	// freshPair is unmaintained outside per-pair runs; rebuild it from
-	// the queues (every fresh cell sits at its source).
-	for i := range s.freshPair {
-		s.freshPair[i] = 0
+	// freshPair is unmaintained outside per-pair runs (and unallocated
+	// before the first one); rebuild it from the queues — every fresh
+	// cell sits at its source, so only allocated rows can hold any.
+	if s.freshPair == nil {
+		s.freshPair = make([]int64, s.n*s.n)
+	} else {
+		clear(s.freshPair)
 	}
 	for u := 0; u < s.n; u++ {
-		for v := 0; v < s.n; v++ {
-			q := &s.voq[u*s.n+v]
+		row := s.voq[u]
+		if row == nil {
+			continue
+		}
+		for v := range row {
+			q := &row[v]
 			for i := q.head; i != q.tail; i++ {
 				if c := &q.buf[i&uint32(len(q.buf)-1)]; c.fresh {
 					s.freshPair[u*s.n+c.dst()]++
@@ -1404,21 +2114,28 @@ func (s *Sim) Reconfigure(sched *matching.Schedule, router routing.Router) error
 	}
 	s.sched = sched
 	s.router = router
-	s.hasCircuit = matching.CircuitSet(sched)
+	s.circuits = newCircuitSet(sched)
 	s.offsets = planeOffsets(int64(sched.Period()), int64(s.planes))
 
 	// Re-route queued cells: each keeps its flow identity but gets a
 	// fresh path from its current node. In-flight cells are re-routed by
-	// land() if their old next circuit disappeared.
+	// land() if their old next circuit disappeared. The active-source
+	// lists are rebuilt as rerouteFrom re-enqueues.
 	old := s.voq
-	s.voq = make([]fifo, s.n*s.n)
+	s.voq = newVOQ(s.n)
 	for i := range s.backlog {
 		s.backlog[i] = 0
 	}
+	s.totalBacklog = 0
+	s.clearActive()
 	moved := int64(0)
 	for u := 0; u < s.n; u++ {
-		for v := 0; v < s.n; v++ {
-			q := &old[u*s.n+v]
+		row := old[u]
+		if row == nil {
+			continue
+		}
+		for v := range row {
+			q := &row[v]
 			for {
 				c, ok := q.pop()
 				if !ok {
@@ -1517,13 +2234,20 @@ func (s *Sim) ReconfigureGraceful(sched *matching.Schedule, router routing.Route
 	if sched.N != s.n {
 		return 0, 0, fmt.Errorf("netsim: new schedule over %d nodes, sim over %d", sched.N, s.n)
 	}
-	newHas := matching.CircuitSet(sched)
+	newCS := newCircuitSet(sched)
 	removedBacklog := func() int64 {
 		total := int64(0)
 		for u := 0; u < s.n; u++ {
-			for v := 0; v < s.n; v++ {
-				if s.hasCircuit[u*s.n+v] && !newHas[u*s.n+v] {
-					total += int64(s.voq[u*s.n+v].len())
+			row := s.voq[u]
+			if row == nil {
+				continue
+			}
+			// Only circuits the old schedule opens can hold queued
+			// cells, so walking the old neighbor lists covers every
+			// removed-circuit queue in O(n·degree), not O(n²).
+			for _, v := range s.circuits.nbr[u] {
+				if !newCS.has(u, int(v)) {
+					total += int64(row[v].len())
 				}
 			}
 		}

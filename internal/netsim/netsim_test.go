@@ -28,6 +28,13 @@ import (
 // separately (see obs.Options.TraceFlows).
 var benchObs = flag.Bool("benchobs", false, "attach an Observer in the saturated benchmarks (obs overhead gate)")
 
+// benchDense runs the benchmarks on the dense reference engine instead
+// of the default active-set engine, for same-machine A/B comparisons
+// (ci.sh's dense-vs-active gate, and the OpenLoopSparse speedup the
+// acceptance criteria track). Results are bit-identical either way —
+// only the per-slot iteration strategy differs.
+var benchDense = flag.Bool("benchdense", false, "run benchmarks on the dense reference engine (dense-vs-active A/B gate)")
+
 func newSim(t *testing.T, sched *matching.Schedule, router routing.Router, seed uint64) *Sim {
 	t.Helper()
 	s, err := New(Config{Schedule: sched, Router: router, SlotNS: 100, PropNS: 500, Seed: seed})
@@ -346,7 +353,7 @@ func BenchmarkStepSaturated(b *testing.B) {
 	if *benchObs {
 		ob = obs.New(obs.Options{})
 	}
-	s, err := New(Config{Schedule: built.Schedule, Router: router, SlotNS: 100, PropNS: 500, Seed: 1, Obs: ob})
+	s, err := New(Config{Schedule: built.Schedule, Router: router, SlotNS: 100, PropNS: 500, Seed: 1, Obs: ob, Dense: *benchDense})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -357,6 +364,46 @@ func BenchmarkStepSaturated(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkStepSaturatedFull times Step with the backlog held at the
+// saturation target: the injection top-up runs with the timer stopped
+// every 32 slots, so every timed Step transmits and lands a full
+// slot's worth of cells — the active-set engine's worst case, where
+// every source is active and the incremental tracking is pure
+// overhead. The RNG- and allocation-heavy injection path is identical
+// code on both engines and jittery enough on a shared host to drown a
+// 5% A/B budget, so it stays outside the timed region (contrast
+// BenchmarkInjectSaturated, which prices the whole slot including
+// injection). Run with -benchdense for the dense-engine baseline.
+func BenchmarkStepSaturatedFull(b *testing.B) {
+	built, err := schedule.BuildSORN(schedule.SORNConfig{N: 128, Nc: 8, Q: 4.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	router := routing.NewSORN(built)
+	s, err := New(Config{Schedule: built.Schedule, Router: router, SlotNS: 100, PropNS: 500, Seed: 1, Dense: *benchDense})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, _ := workload.Locality(built.Cliques, 0.56)
+	size := workload.FixedSize(8)
+	if _, err := s.RunSaturated(SaturationConfig{TM: tm, Size: size, TargetBacklog: 64, WarmupSlots: 0, MeasureSlots: 100}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%32 == 0 {
+			b.StopTimer()
+			for u := 0; u < s.n; u++ {
+				for s.fresh[u] < 64 {
+					s.InjectFlow(u, tm.SampleDest(u, s.rng), size.Sample(s.rng))
+				}
+			}
+			b.StartTimer()
+		}
 		s.Step()
 	}
 }
@@ -1051,7 +1098,7 @@ func BenchmarkInjectSaturated(b *testing.B) {
 	if *benchObs {
 		ob = obs.New(obs.Options{})
 	}
-	s, err := New(Config{Schedule: built.Schedule, Router: router, SlotNS: 100, PropNS: 500, Seed: 1, Obs: ob})
+	s, err := New(Config{Schedule: built.Schedule, Router: router, SlotNS: 100, PropNS: 500, Seed: 1, Obs: ob, Dense: *benchDense})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -1069,6 +1116,85 @@ func BenchmarkInjectSaturated(b *testing.B) {
 			}
 		}
 		s.Step()
+	}
+}
+
+// BenchmarkOpenLoopSparse prices the low-load FCT-shaped regime the
+// active-set engine exists for: a 128-node SORN at 0.05% offered load
+// over a 205k-slot horizon, where short flows arrive every ~100 slots,
+// drain within a few tens, and the fabric sits quiescent between
+// bursts. The dense engine still pays O(n·planes) per slot in transmit
+// and landing for every one of those slots; the active-set engine pays
+// per occupied entry and fast-forwards each quiescent gap in O(1). Run
+// with -benchdense for the A/B baseline — results are bit-identical,
+// only per-slot cost differs.
+func BenchmarkOpenLoopSparse(b *testing.B) {
+	built, err := schedule.BuildSORN(schedule.SORNConfig{N: 128, Nc: 8, Q: 4.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Schedule: built.Schedule, Router: routing.NewSORN(built),
+		SlotNS: 100, PropNS: 500, Seed: 1,
+		LatencySampleEvery: 16, Dense: *benchDense,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm, _ := workload.Locality(built.Cliques, 0.56)
+	gen, err := workload.NewPoissonFlows(tm, workload.FixedSize(8), 0.0005, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows := gen.Window(0, 200000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Reset(cfg); err != nil {
+			b.Fatal(err)
+		}
+		s.StartMeasuring()
+		if err := s.RunOpenLoop(flows, 205000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLargeN prices simulator construction plus a short arrival
+// burst and a long drained tail at a node count the dense N² layouts
+// made expensive. Allocations are as much the headline as ns/op (run
+// with -benchmem): VOQ rows now allocate per occupied node (sources
+// plus relay waypoints), so the per-op footprint tracks the burst's
+// reach instead of unconditionally paying all 2048² virtual queues,
+// and the active-set engine fast-forwards the drained tail the dense
+// engine steps through slot by slot.
+func BenchmarkLargeN(b *testing.B) {
+	built, err := schedule.BuildSORN(schedule.SORNConfig{N: 2048, Nc: 32, Q: 4.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	router := routing.NewSORN(built)
+	tm, _ := workload.Locality(built.Cliques, 0.56)
+	gen, err := workload.NewPoissonFlows(tm, workload.FixedSize(16), 0.005, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows := gen.Window(0, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(Config{
+			Schedule: built.Schedule, Router: router,
+			SlotNS: 100, PropNS: 500, Seed: 1,
+			LatencySampleEvery: 16, Dense: *benchDense,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.StartMeasuring()
+		if err := s.RunOpenLoop(flows, 3000); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -1117,8 +1243,12 @@ func TestReconfigureWithFreshCellsQueued(t *testing.T) {
 	// Fresh counters must still match the fresh cells in the queues.
 	perNode := make([]int64, s.n)
 	for u := 0; u < s.n; u++ {
-		for v := 0; v < s.n; v++ {
-			q := &s.voq[u*s.n+v]
+		row := s.voq[u]
+		if row == nil {
+			continue
+		}
+		for v := range row {
+			q := &row[v]
 			for i := q.head; i != q.tail; i++ {
 				if q.buf[i&uint32(len(q.buf)-1)].fresh {
 					perNode[u]++

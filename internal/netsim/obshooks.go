@@ -72,6 +72,22 @@ func statDelta(cur int64, prev *int64) int64 {
 //sornlint:obsguarded
 func (s *Sim) obsEndSlot() {
 	m := s.om
+	dDelivered := s.flushStatDeltas()
+	m.thpt.Observe(float64(dDelivered) * m.invNP)
+	if s.obs.SnapshotDue(s.slot) {
+		m.backlog.Set(float64(s.Backlog()))
+		m.inflight.Set(float64(s.InFlight()))
+		s.obs.EndSlot(s.slot)
+	}
+}
+
+// flushStatDeltas folds the Stats movement since the previous flush into
+// the registry counters and returns the delivered-cells delta (the
+// throughput observation's input).
+//
+//sornlint:obsguarded
+func (s *Sim) flushStatDeltas() int64 {
+	m := s.om
 	dDelivered := statDelta(s.stats.DeliveredCells, &m.prevDelivered)
 	m.delivered.Add(dDelivered)
 	m.injected.Add(statDelta(s.stats.InjectedCells, &m.prevInjected))
@@ -79,14 +95,34 @@ func (s *Sim) obsEndSlot() {
 	m.lost.Add(statDelta(s.stats.LostCells, &m.prevLost))
 	m.dropped.Add(statDelta(s.stats.DroppedCells, &m.prevDropped))
 	m.completed.Add(statDelta(s.stats.CompletedFlows, &m.prevCompleted))
-	m.thpt.Observe(float64(dDelivered) * m.invNP)
-	if s.obs.SnapshotDue(s.slot) {
-		m.backlog.Set(float64(s.Backlog()))
-		inflight := int64(0)
-		for _, c := range s.ringCount {
-			inflight += int64(c)
+	return dDelivered
+}
+
+// obsFastForward replays the per-slot observability hook for the
+// quiescent slots [s.slot, target) in bulk, producing the exact metric
+// state per-slot Steps would have: any Stats movement since the last
+// Step (a failed-source injection counts Injected and Lost without
+// queueing anything) is flushed first — its delivered delta is
+// necessarily zero while nothing is queued or in flight — then every
+// skipped slot contributes a zero throughput observation, and every
+// snapshot-due slot in the range records a series row with zero
+// backlog/in-flight gauges (true by the quiescence precondition).
+//
+//sornlint:obsguarded
+func (s *Sim) obsFastForward(target int64) {
+	m := s.om
+	s.flushStatDeltas()
+	t := s.slot
+	for {
+		due, ok := s.obs.NextSnapshot(t)
+		if !ok || due >= target {
+			break
 		}
-		m.inflight.Set(float64(inflight))
-		s.obs.EndSlot(s.slot)
+		m.thpt.ObserveZeros(due - t + 1)
+		m.backlog.Set(0)
+		m.inflight.Set(0)
+		s.obs.EndSlot(due)
+		t = due + 1
 	}
+	m.thpt.ObserveZeros(target - t)
 }

@@ -117,6 +117,26 @@ func (r *Rate) Observe(v float64) {
 	}
 }
 
+// ObserveZeros records k consecutive zero observations, bit-exactly as
+// k calls to Observe(0) would (same buffer contents, occupancy, and
+// cursor). The quiescence fast-forward covers skipped slots with it:
+// once k reaches the window size the whole run of zeros is O(window),
+// not O(k).
+func (r *Rate) ObserveZeros(k int64) {
+	if r == nil || k <= 0 || len(r.buf) == 0 {
+		return
+	}
+	if k >= int64(len(r.buf)) {
+		clear(r.buf)
+		r.n = len(r.buf)
+		r.idx = int((int64(r.idx) + k) % int64(len(r.buf)))
+		return
+	}
+	for ; k > 0; k-- {
+		r.Observe(0)
+	}
+}
+
 // Value returns the mean over the occupied window.
 func (r *Rate) Value() float64 {
 	if r == nil || r.n == 0 {

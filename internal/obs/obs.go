@@ -232,6 +232,21 @@ func (o *Observer) SnapshotDue(slot int64) bool {
 	return slot%o.opts.MetricsEvery == 0
 }
 
+// NextSnapshot returns the first slot at or after `from` at which
+// EndSlot would snapshot a series row — the slots a quiescence
+// fast-forward must account for rather than skip. ok is false on a nil
+// Observer.
+func (o *Observer) NextSnapshot(from int64) (slot int64, ok bool) {
+	if o == nil {
+		return 0, false
+	}
+	e := o.opts.MetricsEvery
+	if rem := from % e; rem != 0 {
+		return from + e - rem, true
+	}
+	return from, true
+}
+
 // EndSlot is the per-slot hook: on every MetricsEvery-th slot it
 // snapshots all registered metrics into one time-series row.
 func (o *Observer) EndSlot(slot int64) {

@@ -311,3 +311,56 @@ func TestNilObserverInert(t *testing.T) {
 		t.Fatal("nil registry created metrics")
 	}
 }
+
+func TestRateObserveZeros(t *testing.T) {
+	// ObserveZeros(k) must be indistinguishable from k Observe(0) calls
+	// in every regime: partial fill, wrap within the window, and a bulk
+	// skip far larger than the window (the clear fast path) — including
+	// the ring index, so later observations land in the same cells.
+	for _, k := range []int64{0, -3, 1, 2, 3, 4, 7, 100} {
+		bulk := NewRegistry().Rate("b", 4)
+		loop := NewRegistry().Rate("l", 4)
+		for _, r := range []*Rate{bulk, loop} {
+			r.Observe(8)
+			r.Observe(4)
+		}
+		bulk.ObserveZeros(k)
+		for i := int64(0); i < k; i++ {
+			loop.Observe(0)
+		}
+		bulk.Observe(6)
+		loop.Observe(6)
+		if bulk.Value() != loop.Value() || bulk.idx != loop.idx || bulk.n != loop.n {
+			t.Fatalf("k=%d: bulk (val %f idx %d n %d) != loop (val %f idx %d n %d)",
+				k, bulk.Value(), bulk.idx, bulk.n, loop.Value(), loop.idx, loop.n)
+		}
+	}
+	var nilRate *Rate
+	nilRate.ObserveZeros(5) // must not panic
+}
+
+func TestNextSnapshot(t *testing.T) {
+	// Power-of-two and non-power-of-two cadences: NextSnapshot(from) is
+	// the first slot >= from where SnapshotDue holds.
+	for _, every := range []int64{1, 5, 7, 64} {
+		o := New(Options{MetricsEvery: every})
+		for from := int64(0); from < 3*every+1; from++ {
+			got, ok := o.NextSnapshot(from)
+			if !ok {
+				t.Fatalf("every=%d from=%d: not ok", every, from)
+			}
+			if got < from || !o.SnapshotDue(got) {
+				t.Fatalf("every=%d from=%d: next %d not a due slot at/after from", every, from, got)
+			}
+			for s := from; s < got; s++ {
+				if o.SnapshotDue(s) {
+					t.Fatalf("every=%d from=%d: slot %d due before reported next %d", every, from, s, got)
+				}
+			}
+		}
+	}
+	var nilObs *Observer
+	if _, ok := nilObs.NextSnapshot(0); ok {
+		t.Fatal("nil observer reported a snapshot slot")
+	}
+}

@@ -35,9 +35,12 @@ done
 if [ "$quick" = 1 ]; then
   tmp="$(mktemp)"
   trap 'rm -f "$tmp"' EXIT
-  go test -run NONE -bench 'BenchmarkStepSaturated|BenchmarkStepChurn|BenchmarkInjectSaturated' \
-    -benchtime 200x -benchmem ./internal/netsim/ |
-    go run ./cmd/benchjson -label quick-smoke -out "$tmp"
+  {
+    go test -run NONE -bench 'BenchmarkStepSaturated|BenchmarkStepChurn|BenchmarkInjectSaturated' \
+      -benchtime 200x -benchmem ./internal/netsim/
+    go test -run NONE -bench 'BenchmarkOpenLoopSparse$|BenchmarkLargeN$' \
+      -benchtime 1x -benchmem ./internal/netsim/
+  } | go run ./cmd/benchjson -label quick-smoke -out "$tmp"
   echo "bench.sh -quick: harness OK"
   exit 0
 fi
@@ -58,5 +61,6 @@ workers="${NETSIM_WORKERS:-auto}"
   go test -run NONE -bench 'BenchmarkFigure2fSimulated$' -benchtime 1x -count 3 -benchmem .
   go test -run NONE -bench 'BenchmarkFig2fSweep$|BenchmarkQSweep$' -benchtime 1x -count 3 -benchmem .
   go test -run NONE -bench 'BenchmarkStepSaturated|BenchmarkStepChurn|BenchmarkInjectSaturated' -count 3 -benchmem ./internal/netsim/
+  go test -run NONE -bench 'BenchmarkOpenLoopSparse$|BenchmarkLargeN$' -benchtime 5x -count 3 -benchmem ./internal/netsim/
 } | tee /dev/stderr | go run ./cmd/benchjson -label "$label" -out "$out" \
     -gomaxprocs "$gomaxprocs" -workers "$workers"
